@@ -1,0 +1,72 @@
+// Shared setup for the figure-reproduction benchmarks.
+//
+// All benchmarks report *virtual* time from the calibrated machine model
+// (benchmark::State::SetIterationTime with manual timing), so results are
+// deterministic and hardware-independent. Counters expose the payload
+// bandwidth the paper's figures plot.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "baselines/mvapich_plugin.h"
+#include "core/layouts.h"
+#include "harness/harness.h"
+#include "mpi/runtime.h"
+
+namespace gpuddt::bench {
+
+inline sg::MachineConfig bench_machine() {
+  sg::MachineConfig m;
+  m.num_devices = 2;
+  m.device_memory_bytes = std::size_t{3} << 30;
+  return m;
+}
+
+inline mpi::RuntimeConfig bench_pingpong_cfg() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = 2;
+  cfg.machine = bench_machine();
+  cfg.progress_timeout_ms = 60000;
+  return cfg;
+}
+
+/// Matrix orders swept by the figures (the paper plots up to ~8K).
+inline void matrix_sizes(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {256, 512, 1024, 2048, 4096}) b->Arg(n);
+}
+
+inline void small_matrix_sizes(benchmark::internal::Benchmark* b) {
+  for (std::int64_t n : {256, 512, 1024, 2048}) b->Arg(n);
+}
+
+/// The paper's "V": an n x n/2 sub-matrix of a (n+512)-ld double matrix.
+inline mpi::DatatypePtr v_type(std::int64_t n) {
+  return core::submatrix_type(n, n / 2, n + 512);
+}
+
+/// The paper's "T": the lower triangle of an n x n double matrix.
+inline mpi::DatatypePtr t_type(std::int64_t n) {
+  return core::lower_triangular_type(n, n);
+}
+
+/// Contiguous peer of the same payload.
+inline mpi::DatatypePtr c_type_of(const mpi::DatatypePtr& dt) {
+  return mpi::Datatype::contiguous(dt->size() / 8, mpi::kDouble());
+}
+
+/// Record one virtual-time measurement as the iteration time plus a
+/// bandwidth counter (payload bytes per direction / time).
+inline void record(benchmark::State& state, vt::Time virtual_ns,
+                   std::int64_t payload_bytes) {
+  state.SetIterationTime(static_cast<double>(virtual_ns) * 1e-9);
+  state.counters["GB/s"] = benchmark::Counter(
+      virtual_ns > 0 ? static_cast<double>(payload_bytes) /
+                           static_cast<double>(virtual_ns)
+                     : 0.0);
+  state.counters["msg_MB"] = benchmark::Counter(
+      static_cast<double>(payload_bytes) / (1 << 20));
+}
+
+}  // namespace gpuddt::bench

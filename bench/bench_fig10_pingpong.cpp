@@ -1,0 +1,71 @@
+// Figure 10: ping-pong with sub-matrix (V) and triangular (T) datatypes,
+// ours vs. the MVAPICH2-GDR-style baseline:
+//   (a) shared memory, both ranks on the SAME GPU   (SM_1GPU)
+//   (b) shared memory, two GPUs                     (SM_2GPU)
+//   (c) distributed memory over InfiniBand          (IB)
+//
+// Expected shapes: ours always faster; the baseline's indexed series blows
+// up (one cudaMemcpy2D per column) and leaves the plot by N ~ 2000; the
+// 1GPU case is at least ~2x faster than 2GPU.
+#include "bench_common.h"
+
+namespace gpuddt::bench {
+namespace {
+
+enum class Topo { kSm1Gpu, kSm2Gpu, kIb };
+
+mpi::RuntimeConfig topo_cfg(Topo t) {
+  auto cfg = bench_pingpong_cfg();
+  switch (t) {
+    case Topo::kSm1Gpu:
+      cfg.device_of = [](int) { return 0; };
+      break;
+    case Topo::kSm2Gpu:
+      break;
+    case Topo::kIb:
+      cfg.ranks_per_node = 1;
+      break;
+  }
+  return cfg;
+}
+
+void run_pp(benchmark::State& state, Topo topo, const mpi::DatatypePtr& dt,
+            bool baseline) {
+  harness::PingPongSpec spec;
+  spec.cfg = topo_cfg(topo);
+  spec.dt0 = spec.dt1 = dt;
+  if (baseline) spec.plugin = std::make_shared<base::MvapichLikePlugin>();
+  for (auto _ : state) {
+    const auto res = harness::run_pingpong(spec);
+    record(state, res.avg_roundtrip, res.message_bytes);
+  }
+}
+
+#define FIG10_BENCH(name, topo, type_fn, baseline)                       \
+  void BM_Fig10_##name(benchmark::State& state) {                        \
+    run_pp(state, topo, type_fn(state.range(0)), baseline);              \
+  }                                                                      \
+  BENCHMARK(BM_Fig10_##name)                                             \
+      ->Apply(small_matrix_sizes)                                        \
+      ->UseManualTime()                                                  \
+      ->Iterations(1)
+
+FIG10_BENCH(SM_1GPU_V, Topo::kSm1Gpu, v_type, false);
+FIG10_BENCH(SM_1GPU_T, Topo::kSm1Gpu, t_type, false);
+FIG10_BENCH(SM_1GPU_V_MVAPICH, Topo::kSm1Gpu, v_type, true);
+FIG10_BENCH(SM_1GPU_T_MVAPICH, Topo::kSm1Gpu, t_type, true);
+
+FIG10_BENCH(SM_2GPU_V, Topo::kSm2Gpu, v_type, false);
+FIG10_BENCH(SM_2GPU_T, Topo::kSm2Gpu, t_type, false);
+FIG10_BENCH(SM_2GPU_V_MVAPICH, Topo::kSm2Gpu, v_type, true);
+FIG10_BENCH(SM_2GPU_T_MVAPICH, Topo::kSm2Gpu, t_type, true);
+
+FIG10_BENCH(IB_V, Topo::kIb, v_type, false);
+FIG10_BENCH(IB_T, Topo::kIb, t_type, false);
+FIG10_BENCH(IB_V_MVAPICH, Topo::kIb, v_type, true);
+FIG10_BENCH(IB_T_MVAPICH, Topo::kIb, t_type, true);
+
+}  // namespace
+}  // namespace gpuddt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 6: GPU memory bandwidth of the packing kernels.
+//
+// Series (vs. matrix order N, doubles, column-major):
+//   V       - sub-matrix (vector type), expected ~94% of cudaMemcpy
+//   T       - lower triangular (indexed), expected ~80%
+//   T-stair - stair triangle with nb = 128 (1KB columns), recovers ~V
+//   C       - cudaMemcpy D2D of the same payload (the practical peak)
+#include "bench_common.h"
+
+namespace gpuddt::bench {
+namespace {
+
+void BM_Fig6_V(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto dt = v_type(n);
+  for (auto _ : state) {
+    const double gbps =
+        harness::kernel_pack_bandwidth(dt, 1, {}, bench_machine());
+    record(state, static_cast<vt::Time>(dt->size() / gbps), dt->size());
+  }
+}
+BENCHMARK(BM_Fig6_V)->Apply(matrix_sizes)->UseManualTime()->Iterations(2);
+
+void BM_Fig6_T(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto dt = t_type(n);
+  for (auto _ : state) {
+    const double gbps =
+        harness::kernel_pack_bandwidth(dt, 1, {}, bench_machine());
+    record(state, static_cast<vt::Time>(dt->size() / gbps), dt->size());
+  }
+}
+BENCHMARK(BM_Fig6_T)->Apply(matrix_sizes)->UseManualTime()->Iterations(2);
+
+void BM_Fig6_T_stair(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto dt = core::stair_triangular_type(n, n, 128);
+  for (auto _ : state) {
+    const double gbps =
+        harness::kernel_pack_bandwidth(dt, 1, {}, bench_machine());
+    record(state, static_cast<vt::Time>(dt->size() / gbps), dt->size());
+  }
+}
+BENCHMARK(BM_Fig6_T_stair)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+void BM_Fig6_C_cudaMemcpy(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t bytes = n * (n / 2) * 8;  // V's payload
+  for (auto _ : state) {
+    const double gbps = harness::memcpy_d2d_bandwidth(bytes, bench_machine());
+    record(state, static_cast<vt::Time>(bytes / gbps), bytes);
+  }
+}
+BENCHMARK(BM_Fig6_C_cudaMemcpy)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace gpuddt::bench
+
+BENCHMARK_MAIN();

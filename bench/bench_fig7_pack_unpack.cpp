@@ -1,0 +1,107 @@
+// Figure 7: pack + unpack time of the GPU datatype engine vs. matrix size.
+//
+// Left panel (bypass CPU - everything stays on the device):
+//   V-d2d            vector fast path
+//   T-d2d            triangular, conversion NOT pipelined with kernels
+//   T-d2d-pipeline   triangular, pipelined conversion (~2x faster)
+//   T-d2d-cached     triangular, CUDA DEV array cached
+// Right panel (through host memory):
+//   V-d2d2h / T-d2d2h-cached   pack to device + explicit D2H round trip
+//   V-cpy  / T-cpy-cached      zero-copy (UMA-mapped host buffer)
+#include "bench_common.h"
+
+namespace gpuddt::bench {
+namespace {
+
+harness::PackBenchSpec base_spec(mpi::DatatypePtr dt) {
+  harness::PackBenchSpec spec;
+  spec.dt = std::move(dt);
+  spec.machine = bench_machine();
+  return spec;
+}
+
+void run_spec(benchmark::State& state, harness::PackBenchSpec spec) {
+  for (auto _ : state) {
+    const auto res = harness::run_pack_bench(spec);
+    record(state, res.avg_ns, res.bytes);
+  }
+}
+
+void BM_Fig7_V_d2d(benchmark::State& state) {
+  auto spec = base_spec(v_type(state.range(0)));
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_V_d2d)->Apply(matrix_sizes)->UseManualTime()->Iterations(2);
+
+void BM_Fig7_T_d2d(benchmark::State& state) {
+  auto spec = base_spec(t_type(state.range(0)));
+  spec.engine.cache_enabled = false;
+  spec.engine.pipeline_conversion = false;
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_T_d2d)->Apply(matrix_sizes)->UseManualTime()->Iterations(2);
+
+void BM_Fig7_T_d2d_pipeline(benchmark::State& state) {
+  auto spec = base_spec(t_type(state.range(0)));
+  spec.engine.cache_enabled = false;
+  spec.engine.pipeline_conversion = true;
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_T_d2d_pipeline)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+void BM_Fig7_T_d2d_cached(benchmark::State& state) {
+  auto spec = base_spec(t_type(state.range(0)));
+  spec.warmup = 1;  // first round fills the DEV cache
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_T_d2d_cached)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+void BM_Fig7_V_d2d2h(benchmark::State& state) {
+  auto spec = base_spec(v_type(state.range(0)));
+  spec.target = harness::PackTarget::kDeviceHost;
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_V_d2d2h)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+void BM_Fig7_V_cpy(benchmark::State& state) {
+  auto spec = base_spec(v_type(state.range(0)));
+  spec.target = harness::PackTarget::kZeroCopy;
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_V_cpy)->Apply(matrix_sizes)->UseManualTime()->Iterations(2);
+
+void BM_Fig7_T_d2d2h_cached(benchmark::State& state) {
+  auto spec = base_spec(t_type(state.range(0)));
+  spec.target = harness::PackTarget::kDeviceHost;
+  spec.warmup = 1;
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_T_d2d2h_cached)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+void BM_Fig7_T_cpy_cached(benchmark::State& state) {
+  auto spec = base_spec(t_type(state.range(0)));
+  spec.target = harness::PackTarget::kZeroCopy;
+  spec.warmup = 1;
+  run_spec(state, std::move(spec));
+}
+BENCHMARK(BM_Fig7_T_cpy_cached)
+    ->Apply(matrix_sizes)
+    ->UseManualTime()
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace gpuddt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// Capstone example: a distributed conjugate-gradient solve of the 2D
+// Poisson equation, everything GPU-resident - the kind of application the
+// paper's techniques serve. Combines:
+//   * persistent halo exchanges with derived datatypes (contiguous column
+//     halos between vertical slabs),
+//   * allreduce for the CG dot products,
+//   * the GPU datatype engine underneath every transfer.
+// Convergence is verified independently: ||b - Ax|| / ||b|| recomputed
+// from the final iterate must be tiny.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpi/coll.h"
+#include "mpi/datatype.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+namespace {
+constexpr std::int64_t kN = 96;       // global interior is kN x kN
+constexpr int kRanks = 4;             // vertical slabs
+constexpr std::int64_t kCols = kN / kRanks;
+constexpr std::int64_t kLd = kN + 2;  // local leading dimension (ghosts)
+
+std::int64_t idx(std::int64_t i, std::int64_t j) { return j * kLd + i; }
+
+/// Deterministic pseudo-random RHS per global grid point. (A smooth
+/// sin*sin RHS is an eigenfunction of the discrete Laplacian and lets CG
+/// converge in one step; a rough RHS exercises the full Krylov loop.)
+double rhs_at(std::int64_t gi, std::int64_t gj) {
+  std::uint64_t h = static_cast<std::uint64_t>(gi * 1000003 + gj) *
+                    0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  return static_cast<double>(h % 2000) / 1000.0 - 1.0;  // [-1, 1)
+}
+}  // namespace
+
+int main() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = kRanks;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+    mpi::Collectives coll(comm);
+    const int rank = p.rank();
+    const std::int64_t slab = kLd * (kCols + 2);
+    auto alloc = [&] {
+      auto* v = static_cast<double*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(slab * 8)));
+      std::memset(v, 0, static_cast<std::size_t>(slab * 8));
+      return v;
+    };
+    double* x = alloc();   // solution iterate
+    double* r = alloc();   // residual
+    double* d = alloc();   // search direction
+    double* q = alloc();   // A*d
+
+    // Right-hand side at interior points of my slab.
+    auto fill_b = [&](double* v) {
+      for (std::int64_t j = 1; j <= kCols; ++j)
+        for (std::int64_t i = 1; i <= kN; ++i)
+          v[idx(i, j)] = rhs_at(i, rank * kCols + j);
+    };
+
+    const auto column = mpi::Datatype::contiguous(kN, mpi::kDouble());
+    auto exchange_halos = [&](double* v, int tag) {
+      std::vector<mpi::Request> reqs;
+      if (rank > 0) {
+        reqs.push_back(comm.irecv(&v[idx(1, 0)], 1, column, rank - 1, tag));
+        reqs.push_back(comm.isend(&v[idx(1, 1)], 1, column, rank - 1, tag));
+      }
+      if (rank < kRanks - 1) {
+        reqs.push_back(
+            comm.irecv(&v[idx(1, kCols + 1)], 1, column, rank + 1, tag));
+        reqs.push_back(
+            comm.isend(&v[idx(1, kCols)], 1, column, rank + 1, tag));
+      }
+      comm.waitall(reqs);
+    };
+
+    auto apply_A = [&](double* in, double* out, int tag) {
+      exchange_halos(in, tag);
+      for (std::int64_t j = 1; j <= kCols; ++j)
+        for (std::int64_t i = 1; i <= kN; ++i)
+          out[idx(i, j)] = 4.0 * in[idx(i, j)] - in[idx(i - 1, j)] -
+                           in[idx(i + 1, j)] - in[idx(i, j - 1)] -
+                           in[idx(i, j + 1)];
+    };
+
+    auto dot = [&](const double* a, const double* b) {
+      double local = 0;
+      for (std::int64_t j = 1; j <= kCols; ++j)
+        for (std::int64_t i = 1; i <= kN; ++i)
+          local += a[idx(i, j)] * b[idx(i, j)];
+      double global = 0;
+      coll.allreduce(&local, &global, 1, mpi::kDouble(),
+                     mpi::ReduceOp::kSum);
+      return global;
+    };
+
+    // CG: x = 0, r = b, d = r.
+    fill_b(r);
+    std::memcpy(d, r, static_cast<std::size_t>(slab * 8));
+    double rho = dot(r, r);
+    const double rho0 = rho;
+    int iters = 0;
+    for (; iters < 500 && rho > 1e-16 * rho0; ++iters) {
+      apply_A(d, q, 100 + iters);
+      const double alpha = rho / dot(d, q);
+      for (std::int64_t j = 1; j <= kCols; ++j)
+        for (std::int64_t i = 1; i <= kN; ++i) {
+          x[idx(i, j)] += alpha * d[idx(i, j)];
+          r[idx(i, j)] -= alpha * q[idx(i, j)];
+        }
+      const double rho_new = dot(r, r);
+      const double beta = rho_new / rho;
+      rho = rho_new;
+      for (std::int64_t j = 1; j <= kCols; ++j)
+        for (std::int64_t i = 1; i <= kN; ++i)
+          d[idx(i, j)] = r[idx(i, j)] + beta * d[idx(i, j)];
+    }
+
+    // Independent verification: recompute ||b - A x|| / ||b|| from x.
+    apply_A(x, q, 9000);
+    fill_b(d);  // reuse d as a scratch copy of b
+    double local_num = 0, local_den = 0;
+    for (std::int64_t j = 1; j <= kCols; ++j)
+      for (std::int64_t i = 1; i <= kN; ++i) {
+        const double diff = d[idx(i, j)] - q[idx(i, j)];
+        local_num += diff * diff;
+        local_den += d[idx(i, j)] * d[idx(i, j)];
+      }
+    double sums[2] = {local_num, local_den}, glob[2] = {0, 0};
+    coll.allreduce(sums, glob, 2, mpi::kDouble(), mpi::ReduceOp::kSum);
+    const double rel_resid = std::sqrt(glob[0] / glob[1]);
+    if (rank == 0) {
+      std::printf("cg_poisson: %lld x %lld grid on %d GPU slabs, %d CG "
+                  "iterations, residual drop %.1e, verified ||b-Ax||/||b|| "
+                  "= %.2e, virtual time %.2f ms\n",
+                  static_cast<long long>(kN), static_cast<long long>(kN),
+                  kRanks, iters, rho / rho0, rel_resid,
+                  static_cast<double>(p.clock().now()) / 1e6);
+      if (rel_resid > 1e-6 || iters < 10) {
+        std::fprintf(stderr, "cg_poisson: did not converge properly!\n");
+        std::abort();
+      }
+    }
+  });
+
+  std::printf("cg_poisson: OK\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// FFT-style on-the-fly reshape (Section 5.2.2): "the sender and the
+// receiver can have different datatypes as long as the datatype signatures
+// are identical. In FFT, one side uses a vector, and the other side uses a
+// contiguous type."
+//
+// Rank 0 holds a column block of a larger matrix (vector type); rank 1
+// receives it as a dense contiguous buffer ready for a local FFT - the
+// MPI engine performs the reshape during the transfer. Also demonstrates
+// the reverse direction and reports achieved bandwidth, comparing ours
+// with the MVAPICH-style baseline plugin.
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/mvapich_plugin.h"
+#include "core/layouts.h"
+#include "harness/harness.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+namespace {
+constexpr std::int64_t kRows = 2048;
+constexpr std::int64_t kCols = 1024;
+constexpr std::int64_t kLd = 2048 + 512;
+}  // namespace
+
+int main() {
+  // Correctness pass with explicit verification.
+  {
+    mpi::RuntimeConfig cfg;
+    cfg.world_size = 2;
+    cfg.machine.num_devices = 2;
+    cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+    mpi::Runtime rt(cfg);
+    rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+    rt.run([&](mpi::Process& p) {
+      mpi::Comm comm(p);
+      const mpi::DatatypePtr vec = core::submatrix_type(kRows, kCols, kLd);
+      const mpi::DatatypePtr dense =
+          mpi::Datatype::contiguous(kRows * kCols, mpi::kDouble());
+      if (p.rank() == 0) {
+        auto* a = static_cast<double*>(
+            sg::Malloc(p.gpu(), kLd * kCols * sizeof(double)));
+        for (std::int64_t j = 0; j < kCols; ++j)
+          for (std::int64_t i = 0; i < kRows; ++i)
+            a[j * kLd + i] = static_cast<double>(j * kRows + i);
+        comm.send(a, 1, vec, 1, 0);       // strided out...
+        comm.recv(a, 1, vec, 1, 1);       // ...and strided back in
+      } else {
+        auto* b = static_cast<double*>(
+            sg::Malloc(p.gpu(), kRows * kCols * sizeof(double)));
+        comm.recv(b, 1, dense, 0, 0);     // lands densely
+        long long errors = 0;
+        for (std::int64_t k = 0; k < kRows * kCols; ++k)
+          if (b[k] != static_cast<double>(k)) ++errors;
+        std::printf("[rank 1] reshape received %.1f MB dense, %lld "
+                    "mismatches\n",
+                    static_cast<double>(dense->size()) / (1 << 20), errors);
+        if (errors != 0) std::abort();
+        comm.send(b, 1, dense, 0, 1);     // send back densely
+      }
+    });
+  }
+
+  // Bandwidth comparison: ours vs. the MVAPICH-style baseline.
+  auto measure = [&](std::shared_ptr<mpi::GpuTransferPlugin> plugin) {
+    harness::PingPongSpec spec;
+    spec.cfg.world_size = 2;
+    spec.cfg.machine.num_devices = 2;
+    spec.cfg.machine.device_memory_bytes = std::size_t{2} << 30;
+    spec.dt0 = core::submatrix_type(kRows, kCols, kLd);
+    spec.dt1 = mpi::Datatype::contiguous(kRows * kCols, mpi::kDouble());
+    spec.plugin = std::move(plugin);
+    return harness::run_pingpong(spec);
+  };
+  const auto ours = measure(nullptr);
+  const auto baseline = measure(std::make_shared<base::MvapichLikePlugin>());
+  std::printf("fft_reshape: vector<->contiguous ping-pong %.1f MB\n",
+              static_cast<double>(ours.message_bytes) / (1 << 20));
+  std::printf("  gpuddt engine : %8.3f ms  (%.2f GB/s)\n",
+              static_cast<double>(ours.avg_roundtrip) / 1e6,
+              ours.bandwidth_gbps());
+  std::printf("  mvapich-style : %8.3f ms  (%.2f GB/s)\n",
+              static_cast<double>(baseline.avg_roundtrip) / 1e6,
+              baseline.bandwidth_gbps());
+  std::printf("fft_reshape: OK\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// LAMMPS-style particle exchange (Section 3's second motivating example):
+// "each process keeps an array of indices of local particles that need to
+// be communicated; such an access pattern can be captured by an indexed
+// type."
+//
+// Two ranks hold GPU-resident particle arrays (struct-of-arrays of
+// double3 positions); each selects a random subset of boundary particles
+// by index, builds an MPI indexed type over them, and exchanges the
+// subsets in place - no manual packing anywhere.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "mpi/datatype.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+namespace {
+constexpr std::int64_t kParticles = 100000;
+constexpr std::int64_t kBoundary = 8192;  // particles crossing the boundary
+}  // namespace
+
+int main() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = 2;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const int peer = 1 - p.rank();
+
+    // Positions: 3 doubles per particle, GPU-resident.
+    const std::size_t bytes = kParticles * 3 * sizeof(double);
+    auto* pos = static_cast<double*>(sg::Malloc(p.gpu(), bytes));
+    for (std::int64_t i = 0; i < kParticles; ++i) {
+      pos[3 * i + 0] = p.rank() * 1e6 + static_cast<double>(i);
+      pos[3 * i + 1] = static_cast<double>(i) * 0.5;
+      pos[3 * i + 2] = static_cast<double>(i) * 0.25;
+    }
+
+    // Both ranks agree on the boundary index lists (in a real MD code
+    // these come from the domain decomposition; here both sides derive
+    // them from the same seed, as the receiving slots of incoming ghosts).
+    std::mt19937 rng(1234 + p.rank());
+    std::mt19937 rng_peer(1234 + peer);
+    auto pick = [](std::mt19937& g) {
+      std::vector<std::int64_t> ids(kParticles);
+      for (std::int64_t i = 0; i < kParticles; ++i) ids[i] = i;
+      std::shuffle(ids.begin(), ids.end(), g);
+      ids.resize(kBoundary);
+      std::sort(ids.begin(), ids.end());
+      return ids;
+    };
+    const auto my_ids = pick(rng);
+    const auto peer_ids = pick(rng_peer);
+
+    // One particle = 3 contiguous doubles; indexed over the id list.
+    auto particle = mpi::Datatype::contiguous(3, mpi::kDouble());
+    auto make_indexed = [&](const std::vector<std::int64_t>& ids) {
+      std::vector<std::int64_t> lens(ids.size(), 1);
+      return mpi::Datatype::indexed(lens, ids, particle);
+    };
+    const mpi::DatatypePtr send_t = make_indexed(my_ids);
+
+    // Ghost storage appended after the locals, densely packed.
+    auto* ghosts = static_cast<double*>(
+        sg::Malloc(p.gpu(), kBoundary * 3 * sizeof(double)));
+    const mpi::DatatypePtr recv_t =
+        mpi::Datatype::contiguous(kBoundary * 3, mpi::kDouble());
+
+    mpi::Request r = comm.irecv(ghosts, 1, recv_t, peer, 0);
+    mpi::Request s = comm.isend(pos, 1, send_t, peer, 0);
+    comm.wait(r);
+    comm.wait(s);
+
+    // Verify: ghost k must be the peer's particle peer_ids[k].
+    long long errors = 0;
+    for (std::int64_t k = 0; k < kBoundary; ++k) {
+      const std::int64_t src = peer_ids[static_cast<std::size_t>(k)];
+      const double expect_x = peer * 1e6 + static_cast<double>(src);
+      if (ghosts[3 * k] != expect_x ||
+          ghosts[3 * k + 1] != static_cast<double>(src) * 0.5)
+        ++errors;
+    }
+    std::printf("[rank %d] exchanged %lld boundary particles (%.2f MB), "
+                "%lld mismatches, virtual time %.3f ms\n",
+                p.rank(), static_cast<long long>(kBoundary),
+                static_cast<double>(send_t->size()) / (1 << 20), errors,
+                static_cast<double>(p.clock().now()) / 1e6);
+    if (errors != 0) std::abort();
+  });
+
+  std::printf("particle_exchange: OK\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: send the lower triangle of a GPU-resident matrix from one
+// MPI rank to another, exactly as an application using GPU-aware MPI
+// datatypes would - build the datatype once, then Send/Recv device
+// pointers directly. Prints what happened, in virtual (simulated) time.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/layouts.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+int main() {
+  constexpr std::int64_t kN = 1024;  // matrix order
+
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = 2;
+  cfg.machine.num_devices = 2;  // rank r uses GPU r
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  // Install the GPU datatype engine (the paper's contribution). Without
+  // it, device-resident buffers cannot be used in MPI calls.
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+
+    // The datatype: lower triangle (with diagonal) of an N x N
+    // column-major double matrix - an MPI indexed type.
+    const mpi::DatatypePtr tri = core::lower_triangular_type(kN, kN);
+
+    // Allocate the matrix in device memory ("cudaMalloc").
+    const std::size_t matrix_bytes = kN * kN * sizeof(double);
+    auto* dmat = static_cast<double*>(sg::Malloc(p.gpu(), matrix_bytes));
+
+    if (p.rank() == 0) {
+      // Fill A(i,j) = i + j/1000 on the "GPU" (host-visible simulation).
+      for (std::int64_t j = 0; j < kN; ++j)
+        for (std::int64_t i = 0; i < kN; ++i)
+          dmat[j * kN + i] = static_cast<double>(i) +
+                             static_cast<double>(j) / 1000.0;
+      comm.send(dmat, 1, tri, /*dst=*/1, /*tag=*/0);
+      std::printf("[rank 0] sent lower triangle: %lld doubles (%.1f MB), "
+                  "virtual time %.3f ms\n",
+                  static_cast<long long>(core::lower_triangle_elems(kN)),
+                  static_cast<double>(tri->size()) / (1 << 20),
+                  static_cast<double>(p.clock().now()) / 1e6);
+    } else {
+      std::memset(dmat, 0, matrix_bytes);
+      const mpi::Status st = comm.recv(dmat, 1, tri, /*src=*/0, /*tag=*/0);
+      // Verify: the triangle arrived, the rest stayed zero.
+      long long errors = 0;
+      for (std::int64_t j = 0; j < kN; ++j) {
+        for (std::int64_t i = 0; i < kN; ++i) {
+          const double expect =
+              i >= j ? static_cast<double>(i) + static_cast<double>(j) / 1000.0
+                     : 0.0;
+          if (dmat[j * kN + i] != expect) ++errors;
+        }
+      }
+      std::printf("[rank 1] received %lld bytes, %lld mismatches, "
+                  "virtual time %.3f ms\n",
+                  static_cast<long long>(st.bytes), errors,
+                  static_cast<double>(p.clock().now()) / 1e6);
+      if (errors != 0) std::abort();
+    }
+  });
+
+  std::printf("quickstart: OK\n");
+  return 0;
+}

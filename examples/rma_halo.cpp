@@ -1,0 +1,78 @@
+// Halo exchange with MPI-3 style RMA windows - the fence-epoch one-sided
+// paradigm, with datatypes applied on BOTH sides of each put: every rank
+// pushes its boundary row (a vector type) and boundary column directly
+// into the neighbour's GPU-resident slab between two fences. No receives,
+// no tags - the window and the datatypes carry all the structure.
+#include <cstdio>
+#include <cstring>
+
+#include "mpi/datatype.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+#include "rma/window.h"
+
+using namespace gpuddt;
+
+namespace {
+constexpr std::int64_t kRows = 384;
+constexpr std::int64_t kCols = 192;
+constexpr std::int64_t kLd = kRows + 2;
+constexpr int kRanks = 4;
+std::int64_t idx(std::int64_t i, std::int64_t j) { return j * kLd + i; }
+}  // namespace
+
+int main() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = kRanks;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const int me = p.rank();
+    const int right = (me + 1) % kRanks;
+
+    const std::int64_t slab_bytes = kLd * (kCols + 2) * 8;
+    auto* u = static_cast<double*>(
+        sg::Malloc(p.gpu(), static_cast<std::size_t>(slab_bytes)));
+    std::memset(u, 0, static_cast<std::size_t>(slab_bytes));
+    for (std::int64_t j = 1; j <= kCols; ++j)
+      for (std::int64_t i = 1; i <= kRows; ++i)
+        u[idx(i, j)] = me * 1000.0 + static_cast<double>(i + j);
+
+    rma::Window win(comm, u, slab_bytes);
+    const auto column = mpi::Datatype::contiguous(kRows, mpi::kDouble());
+    const auto row = mpi::Datatype::vector(kCols, 1, kLd, mpi::kDouble());
+
+    win.fence();
+    // Push my boundary column into the right neighbour's left ghost
+    // column (contiguous on both sides)...
+    win.put(&u[idx(1, kCols)], 1, column, right,
+            /*disp=*/idx(1, 0) * 8, 1, column);
+    // ...and my top interior row into their ghost row - a vector type
+    // applied at the TARGET by the engine.
+    win.put(&u[idx(1, 1)], 1, row, right, /*disp=*/idx(0, 1) * 8, 1, row);
+    win.fence();
+
+    const int left = (me + kRanks - 1) % kRanks;
+    long long errors = 0;
+    for (std::int64_t i = 1; i <= kRows; ++i) {
+      if (u[idx(i, 0)] != left * 1000.0 + static_cast<double>(i + kCols))
+        ++errors;
+    }
+    for (std::int64_t j = 1; j <= kCols; ++j) {
+      if (u[idx(0, j)] != left * 1000.0 + static_cast<double>(1 + j))
+        ++errors;
+    }
+    std::printf("[rank %d] RMA halos verified, %lld mismatches, virtual "
+                "time %.3f ms\n",
+                me, errors, static_cast<double>(p.clock().now()) / 1e6);
+    if (errors != 0) std::abort();
+  });
+
+  std::printf("rma_halo: OK\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// ScaLAPACK-style block-cyclic matrix collection - the workload class the
+// paper's introduction motivates ("the widely used linear algebra library
+// ScaLAPACK usually deals with sub-matrices and matrices with irregular
+// shapes").
+//
+// A global M x N double matrix is distributed 2D block-cyclic over a
+// 2 x 2 process grid, all pieces GPU-resident. Rank 0 assembles the global
+// matrix by receiving each rank's contribution with THAT RANK's darray
+// type: the datatype engine scatters every incoming packed stream straight
+// into the right global positions on the GPU - no index arithmetic in the
+// application, no staging buffers.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpi/datatype.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+namespace {
+constexpr std::int64_t kM = 512;   // global rows
+constexpr std::int64_t kN = 384;   // global cols
+constexpr std::int64_t kB = 64;    // block size
+constexpr int kProws = 2, kPcols = 2;
+
+double global_value(std::int64_t i, std::int64_t j) {
+  return static_cast<double>(i) * 10000.0 + static_cast<double>(j);
+}
+
+mpi::DatatypePtr darray_of(int rank) {
+  const std::int64_t gs[] = {kM, kN};
+  const mpi::Datatype::Distrib ds[] = {mpi::Datatype::Distrib::kCyclic,
+                                       mpi::Datatype::Distrib::kCyclic};
+  const std::int64_t da[] = {kB, kB};
+  const std::int64_t ps[] = {kProws, kPcols};
+  return mpi::Datatype::darray(kProws * kPcols, rank, gs, ds, da, ps,
+                               mpi::kDouble(),
+                               mpi::Datatype::Order::kFortran);
+}
+}  // namespace
+
+int main() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = kProws * kPcols;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const int rank = p.rank();
+    const mpi::DatatypePtr mine = darray_of(rank);
+
+    // Each rank materializes ITS elements of the global matrix, stored at
+    // their global positions within a full-extent device buffer (the
+    // darray type's displacements are global).
+    auto* local = static_cast<double*>(
+        sg::Malloc(p.gpu(), static_cast<std::size_t>(mine->extent())));
+    std::memset(local, 0, static_cast<std::size_t>(mine->extent()));
+    {
+      // Walk my darray's blocks and fill my elements.
+      mpi::BlockCursor cur(mine, 1);
+      mpi::Block b;
+      while (cur.next(&b)) {
+        for (std::int64_t e = b.offset / 8; e < (b.offset + b.len) / 8; ++e) {
+          const std::int64_t i = e % kM;  // Fortran order: i fastest
+          const std::int64_t j = e / kM;
+          local[e] = global_value(i, j);
+        }
+      }
+    }
+
+    if (rank == 0) {
+      auto* global = static_cast<double*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(kM * kN * 8)));
+      std::memset(global, 0, static_cast<std::size_t>(kM * kN * 8));
+      // My own piece lands via a self-transfer, every other piece via a
+      // receive typed with the SENDER's darray layout.
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(comm.isend(local, 1, mine, 0, 0));
+      for (int r = 0; r < p.size(); ++r)
+        reqs.push_back(comm.irecv(global, 1, darray_of(r), r, 0));
+      comm.waitall(reqs);
+
+      long long errors = 0;
+      for (std::int64_t j = 0; j < kN; ++j)
+        for (std::int64_t i = 0; i < kM; ++i)
+          if (global[j * kM + i] != global_value(i, j)) ++errors;
+      std::printf("[rank 0] assembled %lld x %lld block-cyclic(b=%lld) "
+                  "matrix from a %dx%d grid, %lld mismatches, virtual "
+                  "time %.3f ms\n",
+                  static_cast<long long>(kM), static_cast<long long>(kN),
+                  static_cast<long long>(kB), kProws, kPcols, errors,
+                  static_cast<double>(p.clock().now()) / 1e6);
+      if (errors != 0) std::abort();
+    } else {
+      comm.send(local, 1, mine, 0, 0);
+      std::printf("[rank %d] sent %.2f MB block-cyclic piece\n", rank,
+                  static_cast<double>(mine->size()) / (1 << 20));
+    }
+  });
+
+  std::printf("scalapack_gather: OK\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// One-sided halo exchange with the OpenSHMEM-style layer (the paper's
+// "ideas are generic ... OpenSHMEM" port): each PE keeps a GPU-resident
+// slab on the symmetric heap and *puts* its boundary into the neighbour's
+// ghost region - including a non-contiguous row boundary moved with
+// put_datatype, the capability plain OpenSHMEM lacks (Section 2.1).
+#include <cstdio>
+#include <cstring>
+
+#include "mpi/datatype.h"
+#include "mpi/runtime.h"
+#include "shmem/shmem.h"
+
+using namespace gpuddt;
+
+namespace {
+constexpr std::int64_t kRows = 256;
+constexpr std::int64_t kCols = 128;
+constexpr std::int64_t kLd = kRows + 2;
+constexpr int kPes = 4;
+std::int64_t idx(std::int64_t i, std::int64_t j) { return j * kLd + i; }
+}  // namespace
+
+int main() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = kPes;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  shmem::SymmetricHeap heap(rt, 32u << 20);
+
+  rt.run([&](mpi::Process& p) {
+    shmem::Pe pe(p, heap);
+    const int me = pe.my_pe();
+    const int right = (me + 1) % kPes;
+
+    const std::size_t slab = kLd * (kCols + 2) * sizeof(double);
+    auto* u = static_cast<double*>(pe.malloc(slab));
+    std::memset(u, 0, slab);
+    for (std::int64_t j = 1; j <= kCols; ++j)
+      for (std::int64_t i = 1; i <= kRows; ++i)
+        u[idx(i, j)] = me * 1000.0 + static_cast<double>(i + j);
+    pe.barrier_all();
+
+    // (1) Contiguous boundary column -> right neighbour's left ghost.
+    pe.putmem(&u[idx(1, 0)], &u[idx(1, kCols)], kRows * sizeof(double),
+              right);
+
+    // (2) Non-contiguous top boundary row (one element per column, kLd
+    // apart) -> right neighbour's ghost row, via the datatype engine.
+    auto row = mpi::Datatype::vector(kCols, 1, kLd, mpi::kDouble());
+    // Symmetric addresses: same offsets on both sides.
+    pe.put_datatype(&u[idx(0, 1)] /*their ghost row*/,
+                    &u[idx(1, 1)] /*my top row*/, row, 1, right);
+    pe.barrier_all();
+
+    // Verify what the left neighbour put into my ghosts.
+    const int left = (me + kPes - 1) % kPes;
+    long long errors = 0;
+    for (std::int64_t i = 1; i <= kRows; ++i) {
+      const double expect = left * 1000.0 + static_cast<double>(i + kCols);
+      if (u[idx(i, 0)] != expect) ++errors;
+    }
+    for (std::int64_t j = 1; j <= kCols; ++j) {
+      const double expect = left * 1000.0 + static_cast<double>(1 + j);
+      if (u[idx(0, j)] != expect) ++errors;
+    }
+    std::printf("[PE %d] one-sided halos verified, %lld mismatches, "
+                "virtual time %.3f ms\n",
+                me, errors, static_cast<double>(p.clock().now()) / 1e6);
+    if (errors != 0) std::abort();
+    pe.barrier_all();
+  });
+
+  std::printf("shmem_stencil: OK\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// 2D stencil halo exchange (the SHOC benchmark pattern the paper's
+// Section 3 motivates): a column-major grid is partitioned into vertical
+// slabs, one per rank, all resident in GPU memory. Each iteration
+// exchanges one-column halos with both neighbours - a contiguous column
+// on the send side maps to a contiguous recv, while the *row* halos of a
+// real 2D decomposition would be vector types; we exchange both a column
+// (contiguous) and the grid's top/bottom rows (vector type) to exercise
+// the engine the way SHOC does ("two of the four boundaries are
+// contiguous, and the other two are non-contiguous").
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpi/datatype.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+namespace {
+
+constexpr std::int64_t kRows = 512;   // interior rows per rank
+constexpr std::int64_t kCols = 256;   // interior columns per rank
+constexpr int kIters = 4;
+constexpr int kRanks = 4;
+
+// Local slab layout (column-major, doubles), one ghost layer all around:
+// (kRows + 2) x (kCols + 2).
+constexpr std::int64_t kLd = kRows + 2;
+
+std::int64_t idx(std::int64_t i, std::int64_t j) { return j * kLd + i; }
+
+}  // namespace
+
+int main() {
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = kRanks;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{1} << 30;
+
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const int rank = p.rank();
+    const int left = rank - 1;
+    const int right = rank + 1;
+
+    const std::size_t slab_bytes = kLd * (kCols + 2) * sizeof(double);
+    auto* u = static_cast<double*>(sg::Malloc(p.gpu(), slab_bytes));
+    std::memset(u, 0, slab_bytes);
+    // Interior initialized to a rank-dependent ramp.
+    for (std::int64_t j = 1; j <= kCols; ++j)
+      for (std::int64_t i = 1; i <= kRows; ++i)
+        u[idx(i, j)] = rank * 1000.0 + static_cast<double>(i + j);
+
+    // Column halo: contiguous (one column of the slab).
+    const mpi::DatatypePtr column =
+        mpi::Datatype::contiguous(kRows, mpi::kDouble());
+    // Row halo: a vector - one element per column, kLd apart (this is the
+    // non-contiguous boundary of the 2D stencil).
+    const mpi::DatatypePtr row =
+        mpi::Datatype::vector(kCols, 1, kLd, mpi::kDouble());
+
+    for (int it = 0; it < kIters; ++it) {
+      std::vector<mpi::Request> reqs;
+      // Exchange the boundary columns with left/right neighbours.
+      if (left >= 0) {
+        reqs.push_back(
+            comm.irecv(&u[idx(1, 0)], 1, column, left, 2 * it));
+        reqs.push_back(
+            comm.isend(&u[idx(1, 1)], 1, column, left, 2 * it + 1));
+      }
+      if (right < kRanks) {
+        reqs.push_back(
+            comm.irecv(&u[idx(1, kCols + 1)], 1, column, right, 2 * it + 1));
+        reqs.push_back(
+            comm.isend(&u[idx(1, kCols)], 1, column, right, 2 * it));
+      }
+      // Also ship the top boundary row (vector type) around a ring to
+      // exercise the non-contiguous path.
+      const int nxt = (rank + 1) % kRanks;
+      const int prv = (rank + kRanks - 1) % kRanks;
+      reqs.push_back(comm.irecv(&u[idx(0, 1)], 1, row, prv, 777 + it));
+      reqs.push_back(comm.isend(&u[idx(1, 1)], 1, row, nxt, 777 + it));
+      comm.waitall(reqs);
+
+      // A Jacobi-ish smoothing step over the interior (functionally real).
+      for (std::int64_t j = 1; j <= kCols; ++j)
+        for (std::int64_t i = 1; i <= kRows; ++i)
+          u[idx(i, j)] =
+              0.25 * (u[idx(i - 1, j)] + u[idx(i + 1, j)] +
+                      u[idx(i, j - 1)] + u[idx(i, j + 1)]);
+      comm.barrier();
+    }
+
+    // Verify the final column halos really hold the neighbour's boundary.
+    if (left >= 0) {
+      // After the last smoothing step the halo is one iteration stale,
+      // which is the expected stencil behaviour; just check it is
+      // non-zero (data genuinely arrived from the neighbour).
+      double sum = 0;
+      for (std::int64_t i = 1; i <= kRows; ++i) sum += u[idx(i, 0)];
+      if (sum == 0.0) {
+        std::fprintf(stderr, "[rank %d] halo never filled!\n", rank);
+        std::abort();
+      }
+    }
+    if (rank == 0) {
+      std::printf("stencil2d: %d ranks, %d iters, grid %lld x %lld per "
+                  "rank, virtual time %.3f ms\n",
+                  kRanks, kIters, static_cast<long long>(kRows),
+                  static_cast<long long>(kCols),
+                  static_cast<double>(p.clock().now()) / 1e6);
+    }
+  });
+
+  std::printf("stencil2d: OK\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from the CSV files dump_figures writes.
+
+Usage:
+    ./build/tools/dump_figures figdata
+    python3 plots/plot_figures.py figdata out
+
+Produces one PNG per paper figure in `out/`. Requires matplotlib.
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return {k: [float(r[k]) for r in rows] for k in rows[0]}
+
+
+def main():
+    data_dir = sys.argv[1] if len(sys.argv) > 1 else "figdata"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else "plots/out"
+    os.makedirs(out_dir, exist_ok=True)
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    def save(fig, name, title, xlabel, ylabel, logy=False):
+        ax = fig.gca()
+        ax.set_title(title)
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel(ylabel)
+        if logy:
+            ax.set_yscale("log")
+        ax.legend()
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        fig.savefig(os.path.join(out_dir, name), dpi=140)
+        print(f"  {name}")
+
+    # Figure 6
+    d = read_csv(os.path.join(data_dir, "fig6_kernel_bandwidth.csv"))
+    fig = plt.figure()
+    for k, lbl in [("C_gbps", "C (cudaMemcpy)"), ("V_gbps", "V"),
+                   ("T_gbps", "T"), ("Tstair_gbps", "T-stair")]:
+        fig.gca().plot(d["N"], d[k], marker="o", label=lbl)
+    save(fig, "fig6_kernel_bandwidth.png",
+         "Fig 6: GPU memory bandwidth of packing kernels",
+         "matrix order N", "GB/s")
+
+    # Figure 7
+    d = read_csv(os.path.join(data_dir, "fig7_pack_unpack.csv"))
+    fig = plt.figure()
+    for k, lbl in [("V_d2d_ms", "V-d2d"), ("T_d2d_ms", "T-d2d"),
+                   ("T_pipeline_ms", "T-d2d-pipeline"),
+                   ("T_cached_ms", "T-d2d-cached"),
+                   ("V_d2d2h_ms", "V-d2d2h"), ("V_cpy_ms", "V-cpy")]:
+        fig.gca().plot(d["N"], d[k], marker="o", label=lbl)
+    save(fig, "fig7_pack_unpack.png",
+         "Fig 7: pack+unpack time of the datatype engine",
+         "matrix order N", "ms", logy=True)
+
+    # Figure 8 (8192-block panel)
+    d = read_csv(os.path.join(data_dir, "fig8_vs_memcpy2d.csv"))
+    sel = [i for i, b in enumerate(d["blocks"]) if b == 8192]
+    fig = plt.figure()
+    for k, lbl in [("kernel_d2d_gbps", "kernel d2d"),
+                   ("mcp2d_d2d_gbps", "cudaMemcpy2D d2d"),
+                   ("kernel_d2h_gbps", "kernel d2h (zero-copy)"),
+                   ("mcp2d_d2h_gbps", "cudaMemcpy2D d2h")]:
+        fig.gca().plot([d["block_bytes"][i] for i in sel],
+                       [d[k][i] for i in sel], marker="o", label=lbl)
+    fig.gca().set_xscale("log")
+    save(fig, "fig8_vs_memcpy2d.png",
+         "Fig 8: vector kernel vs cudaMemcpy2D (8192 blocks)",
+         "block size (bytes)", "GB/s")
+
+    # Figure 9
+    d = read_csv(os.path.join(data_dir, "fig9_pcie_bandwidth.csv"))
+    fig = plt.figure()
+    for k, lbl in [("C_gbps", "C"), ("V_gbps", "V"), ("T_gbps", "T")]:
+        fig.gca().plot(d["N"], d[k], marker="o", label=lbl)
+    save(fig, "fig9_pcie_bandwidth.png",
+         "Fig 9: PCI-E bandwidth of the ping-pong",
+         "matrix order N", "GB/s")
+
+    # Figure 10
+    d = read_csv(os.path.join(data_dir, "fig10_pingpong.csv"))
+    for panel, series in [
+        ("a_sm_1gpu", [("SM1_V_ms", "V 1GPU"), ("SM1_T_ms", "T 1GPU")]),
+        ("b_sm_2gpu", [("SM2_V_ms", "V 2GPU"), ("SM2_T_ms", "T 2GPU"),
+                       ("SM2_V_mvapich_ms", "V mvapich"),
+                       ("SM2_T_mvapich_ms", "T mvapich")]),
+        ("c_ib", [("IB_V_ms", "V"), ("IB_T_ms", "T"),
+                  ("IB_V_mvapich_ms", "V mvapich"),
+                  ("IB_T_mvapich_ms", "T mvapich")]),
+    ]:
+        fig = plt.figure()
+        for k, lbl in series:
+            fig.gca().plot(d["N"], d[k], marker="o", label=lbl)
+        save(fig, f"fig10{panel}.png", f"Fig 10({panel[0]}): ping-pong",
+             "matrix order N", "ms", logy=True)
+
+    # Figures 11/12
+    d = read_csv(os.path.join(data_dir, "fig11_12_reshape_transpose.csv"))
+    fig = plt.figure()
+    for k, lbl in [("reshape_ms", "vector<->contig (ours)"),
+                   ("reshape_mvapich_ms", "vector<->contig (mvapich)"),
+                   ("transpose_ms", "transpose (ours)"),
+                   ("transpose_mvapich_ms", "transpose (mvapich)")]:
+        fig.gca().plot(d["N"], d[k], marker="o", label=lbl)
+    save(fig, "fig11_12_reshape_transpose.png",
+         "Figs 11/12: reshape and transpose ping-pong",
+         "matrix order N", "ms", logy=True)
+
+    print(f"plots written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

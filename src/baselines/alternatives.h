@@ -1,0 +1,52 @@
+// The four design alternatives of Figure 1, as directly invokable
+// pack-side strategies (used by bench_fig1_alternatives and the tests).
+//
+//  (a) copy the entire extent - gaps included - to host memory and let the
+//      CPU datatype engine pack there;
+//  (b) one cudaMemcpy D2H per contiguous block, packing into host memory;
+//  (c) one cudaMemcpy D2D per contiguous block, packing into device
+//      memory;
+//  (d) a GPU pack kernel into a contiguous device buffer (the paper's
+//      choice, Section 3).
+//
+// Every strategy produces the identical packed byte stream; they differ
+// only in where the packed data lands and in virtual cost.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "mpi/datatype.h"
+#include "simgpu/runtime.h"
+
+namespace gpuddt::base {
+
+struct PackOutcome {
+  /// Virtual nanoseconds from start to packed-data-available.
+  vt::Time elapsed = 0;
+  /// Where the packed bytes ended up (host or device).
+  std::byte* packed = nullptr;
+  bool packed_on_host = false;
+};
+
+/// (a) Stage the whole extent (including gaps) to host, CPU-pack there.
+PackOutcome pack_stage_whole(sg::HostContext& ctx, const mpi::DatatypePtr& dt,
+                             std::int64_t count, const void* dev_buf,
+                             std::byte* host_scratch, std::byte* host_packed);
+
+/// (b) One D2H memcpy per contiguous block into a host buffer.
+PackOutcome pack_per_block_d2h(sg::HostContext& ctx,
+                               const mpi::DatatypePtr& dt, std::int64_t count,
+                               const void* dev_buf, std::byte* host_packed);
+
+/// (c) One D2D memcpy per contiguous block into a device buffer.
+PackOutcome pack_per_block_d2d(sg::HostContext& ctx,
+                               const mpi::DatatypePtr& dt, std::int64_t count,
+                               const void* dev_buf, std::byte* dev_packed);
+
+/// (d) GPU kernel pack into a device buffer (the paper's engine).
+PackOutcome pack_gpu_kernel(core::GpuDatatypeEngine& eng,
+                            const mpi::DatatypePtr& dt, std::int64_t count,
+                            const void* dev_buf, std::byte* dev_packed);
+
+}  // namespace gpuddt::base

@@ -1,0 +1,55 @@
+// MVAPICH2-GDR-style GPU datatype transfer (the paper's comparator).
+//
+// Faithful to the published description ([15]/[16] and the paper's
+// Section 2.2 account): every datatype is vectorized into a set of vector
+// segments, each staged with its own cudaMemcpy2D; all data transits host
+// memory; there is NO pipelining or overlap between packing, the wire
+// transfer and unpacking; indexed types degenerate into one 2D copy per
+// contiguous block. Installed as the runtime's GpuTransferPlugin, it
+// answers the same wire protocol as the real engine, so the benchmark
+// harness can A/B the two implementations on identical traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/vectorize.h"
+#include "mpi/btl.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+
+namespace gpuddt::base {
+
+class MvapichLikePlugin : public mpi::GpuTransferPlugin {
+ public:
+  void attach(mpi::Runtime& /*rt*/) override {}
+
+  void send_start(mpi::Process& p, mpi::SendRequest& req) override;
+  void send_on_cts(mpi::Process& p, mpi::SendRequest& req,
+                   const mpi::CtsHeader& cts, vt::Time arrival) override;
+  void recv_start(mpi::Process& p, mpi::RecvRequest& req,
+                  const mpi::RtsHeader& rts, vt::Time arrival) override;
+  void recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
+                    const mpi::FragHeader& hdr,
+                    std::span<const std::byte> data, vt::Time arrival) override;
+  void recv_eager(mpi::Process& p, mpi::RecvRequest& req,
+                  std::span<const std::byte> data, vt::Time arrival) override;
+
+ private:
+  struct SendState;
+  struct RecvState;
+
+  /// Stage the whole message into a host buffer, one cudaMemcpy2D per
+  /// vector segment (synchronous: this is the point of the baseline).
+  /// Returns the host buffer.
+  std::byte* stage_out(mpi::Process& p, const mpi::DatatypePtr& dt,
+                       std::int64_t count, const void* buf,
+                       std::int64_t total);
+  /// Scatter a fully received host buffer back into device memory.
+  void stage_in(mpi::Process& p, const mpi::DatatypePtr& dt,
+                std::int64_t count, void* buf, const std::byte* host,
+                std::int64_t total);
+};
+
+}  // namespace gpuddt::base

@@ -1,0 +1,41 @@
+#include "baselines/vectorize.h"
+
+#include "mpi/cursor.h"
+
+namespace gpuddt::base {
+
+std::vector<VectorSeg> vectorize(const mpi::DatatypePtr& dt,
+                                 std::int64_t count) {
+  std::vector<VectorSeg> segs;
+  mpi::BlockCursor cur(dt, count);
+  mpi::Block b;
+  std::int64_t pk = 0;
+  while (cur.next(&b)) {
+    bool extended = false;
+    if (!segs.empty()) {
+      VectorSeg& s = segs.back();
+      if (b.len == s.blocklen) {
+        if (s.count == 1) {
+          // Second row fixes the stride; only non-overlapping forward
+          // strides make a valid cudaMemcpy2D pitch.
+          const std::int64_t stride = b.offset - s.src_disp;
+          if (stride >= s.blocklen) {
+            s.stride = stride;
+            s.count = 2;
+            extended = true;
+          }
+        } else if (b.offset == s.src_disp + s.count * s.stride) {
+          ++s.count;
+          extended = true;
+        }
+      }
+    }
+    if (!extended) {
+      segs.push_back(VectorSeg{b.offset, pk, b.len, b.len, 1});
+    }
+    pk += b.len;
+  }
+  return segs;
+}
+
+}  // namespace gpuddt::base

@@ -1,0 +1,33 @@
+// The vectorization algorithm of Wang et al. [15] (MVAPICH2-GDR's GPU
+// datatype approach, the paper's comparator): convert an arbitrary MPI
+// datatype into a set of vector segments, each of which maps onto one
+// cudaMemcpy2D. Layouts whose blocks share a length and a uniform stride
+// collapse into a single segment; irregular layouts such as triangular
+// matrices degenerate into one segment per contiguous block, and the
+// per-call overhead of the 2D copies is exactly what the paper's Figure 10
+// shows blowing up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/datatype.h"
+
+namespace gpuddt::base {
+
+/// One vector segment: `count` rows of `blocklen` bytes, source rows
+/// `stride` apart starting at `src_disp`, landing densely at `pk_disp` of
+/// the packed stream.
+struct VectorSeg {
+  std::int64_t src_disp = 0;
+  std::int64_t pk_disp = 0;
+  std::int64_t blocklen = 0;
+  std::int64_t stride = 0;
+  std::int64_t count = 1;
+};
+
+/// Convert `count` elements of `dt` into vector segments.
+std::vector<VectorSeg> vectorize(const mpi::DatatypePtr& dt,
+                                 std::int64_t count);
+
+}  // namespace gpuddt::base

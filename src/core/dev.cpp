@@ -1,0 +1,43 @@
+#include "core/dev.h"
+
+#include <stdexcept>
+
+namespace gpuddt::core {
+
+DevCursor::DevCursor(mpi::DatatypePtr dt, std::int64_t count,
+                     std::int64_t unit_bytes)
+    : cursor_(std::move(dt), count), unit_bytes_(unit_bytes) {
+  if (unit_bytes < kMinUnitBytes)
+    throw std::invalid_argument("DevCursor: unit size below 256B warp floor");
+}
+
+std::size_t DevCursor::next_units(std::span<CudaDevDist> out) {
+  std::size_t n = 0;
+  mpi::Block b;
+  while (n < out.size() && cursor_.next(unit_bytes_, &b)) {
+    out[n].nc_disp = b.offset;
+    out[n].pk_disp = packed_off_;
+    out[n].length = b.len;
+    packed_off_ += b.len;
+    ++n;
+  }
+  return n;
+}
+
+std::vector<CudaDevDist> convert_all(const mpi::DatatypePtr& dt,
+                                     std::int64_t count,
+                                     std::int64_t unit_bytes) {
+  DevCursor cur(dt, count, unit_bytes);
+  std::vector<CudaDevDist> units;
+  const std::int64_t total = cur.total_bytes();
+  if (total > 0) units.reserve(static_cast<std::size_t>(total / unit_bytes + 16));
+  CudaDevDist buf[256];
+  for (;;) {
+    const std::size_t n = cur.next_units(buf);
+    if (n == 0) break;
+    units.insert(units.end(), buf, buf + n);
+  }
+  return units;
+}
+
+}  // namespace gpuddt::core

@@ -1,0 +1,58 @@
+// Datatype Engine Vectors (DEVs) and CUDA DEV work units - Section 3.2.
+//
+// The host walks the stack-based datatype representation and re-encodes it
+// as a flat array of <non-contiguous displacement, packed displacement,
+// length> tuples. Large contiguous blocks are split into work units of at
+// most S bytes (`unit_bytes`, the paper's 1KB/2KB/4KB knob) so each unit
+// maps onto one CUDA warp; because the tuples hold only *relative*
+// displacements, a converted array is reusable and cacheable (dev_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mpi/cursor.h"
+#include "mpi/datatype.h"
+
+namespace gpuddt::core {
+
+/// The paper's `cuda_dev_dist`: one work unit for one CUDA warp.
+struct CudaDevDist {
+  std::int64_t nc_disp = 0;  // displacement within the non-contiguous data
+  std::int64_t pk_disp = 0;  // displacement within the packed buffer
+  std::int64_t length = 0;   // bytes (<= unit size S)
+};
+
+/// Paper lower bound for S: 8 bytes x 32 lanes = 256 B per warp round.
+constexpr std::int64_t kMinUnitBytes = 256;
+
+/// Incremental converter from a datatype (for `count` elements) into CUDA
+/// DEV work units. Supports partial conversion so the host can pipeline
+/// conversion with kernel execution (Section 3.2).
+class DevCursor {
+ public:
+  DevCursor() = default;
+  DevCursor(mpi::DatatypePtr dt, std::int64_t count, std::int64_t unit_bytes);
+
+  /// Produce up to out.size() units; returns how many were written.
+  std::size_t next_units(std::span<CudaDevDist> out);
+
+  bool done() const { return cursor_.done(); }
+  std::int64_t bytes_emitted() const { return packed_off_; }
+  std::int64_t total_bytes() const { return cursor_.total_bytes(); }
+
+  /// Contiguous pieces visited so far (host traversal cost accounting).
+  std::int64_t pieces_visited() const { return cursor_.pieces_produced(); }
+
+ private:
+  mpi::BlockCursor cursor_;
+  std::int64_t unit_bytes_ = 1024;
+  std::int64_t packed_off_ = 0;
+};
+
+/// Convert a whole datatype in one shot (cache fill, tests).
+std::vector<CudaDevDist> convert_all(const mpi::DatatypePtr& dt,
+                                     std::int64_t count,
+                                     std::int64_t unit_bytes);
+
+}  // namespace gpuddt::core

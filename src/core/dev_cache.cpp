@@ -1,0 +1,87 @@
+#include "core/dev_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpuddt::core {
+
+void DevCache::touch(const Key& k) const {
+  auto& lru = const_cast<DevCache*>(this)->lru_;
+  auto it = std::find(lru.begin(), lru.end(), k);
+  if (it != lru.end()) lru.erase(it);
+  lru.push_front(k);
+}
+
+const DevCache::Entry* DevCache::find(const mpi::DatatypePtr& dt,
+                                      std::int64_t count,
+                                      std::int64_t unit_bytes) const {
+  const Key k{dt->type_id(), count, unit_bytes};
+  auto it = entries_.find(k);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch(k);
+  return it->second.get();
+}
+
+const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
+                                        const mpi::DatatypePtr& dt,
+                                        std::int64_t count,
+                                        std::int64_t unit_bytes,
+                                        std::vector<CudaDevDist> units) {
+  const Key k{dt->type_id(), count, unit_bytes};
+  auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    touch(k);
+    return it->second.get();  // already present; keep the existing copy
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->total_bytes = 0;
+  for (const auto& u : units) entry->total_bytes += u.length;
+  entry->units = std::move(units);
+  const Entry* out = entry.get();
+  entries_.emplace(k, std::move(entry));
+  lru_.push_front(k);
+  evict_if_needed(ctx);
+  return out;
+}
+
+const CudaDevDist* DevCache::device_units(sg::HostContext& ctx,
+                                          const Entry& entry) {
+  auto& e = const_cast<Entry&>(entry);
+  auto it = e.device_copies.find(ctx.device);
+  if (it != e.device_copies.end())
+    return static_cast<const CudaDevDist*>(it->second);
+  const std::size_t bytes = e.units.size() * sizeof(CudaDevDist);
+  void* dev = sg::Malloc(ctx, bytes);
+  sg::Memcpy(ctx, dev, e.units.data(), bytes);
+  e.device_copies.emplace(ctx.device, dev);
+  return static_cast<const CudaDevDist*>(dev);
+}
+
+void DevCache::evict_if_needed(sg::HostContext& ctx) {
+  while (entries_.size() > max_entries_ && !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    if (it == entries_.end()) continue;
+    for (auto& [dev, ptr] : it->second->device_copies) {
+      // Freeing is only valid from a context that can see the arena;
+      // device pointers resolve globally through the machine registry.
+      sg::Free(ctx, ptr);
+    }
+    entries_.erase(it);
+  }
+}
+
+void DevCache::clear(sg::HostContext& ctx) {
+  for (auto& [k, e] : entries_) {
+    for (auto& [dev, ptr] : e->device_copies) sg::Free(ctx, ptr);
+  }
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace gpuddt::core

@@ -1,0 +1,84 @@
+// Cache of converted CUDA DEV arrays - Section 3.2.
+//
+// "As the CUDA DEV is tied to the data representation and is independent
+// of the location of the source and destination buffers, it can be cached,
+// either in the main or GPU memory, thereby minimizing the overheads of
+// future pack/unpack operations."
+//
+// Keyed by (datatype instance, count, unit size). Holds the host-side unit
+// array and, lazily, a device-resident copy per device (so repeated
+// pack/unpack skips both the conversion and the descriptor upload).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dev.h"
+#include "simgpu/runtime.h"
+
+namespace gpuddt::core {
+
+class DevCache {
+ public:
+  struct Entry {
+    std::vector<CudaDevDist> units;
+    std::int64_t total_bytes = 0;
+    /// Device-resident copies of `units`, per device id.
+    std::map<int, void*> device_copies;
+  };
+
+  explicit DevCache(std::size_t max_entries = 64)
+      : max_entries_(max_entries) {}
+
+  /// Look up a converted array; nullptr on miss.
+  const Entry* find(const mpi::DatatypePtr& dt, std::int64_t count,
+                    std::int64_t unit_bytes) const;
+
+  /// Insert a fully converted array (takes ownership). Returns the entry.
+  /// `ctx` is used to free device copies of any evicted entry.
+  const Entry* insert(sg::HostContext& ctx, const mpi::DatatypePtr& dt,
+                      std::int64_t count, std::int64_t unit_bytes,
+                      std::vector<CudaDevDist> units);
+
+  /// Device-resident copy of an entry's units, uploading on first use
+  /// (costs one H2D transfer on `ctx`'s clock).
+  const CudaDevDist* device_units(sg::HostContext& ctx, const Entry& entry);
+
+  /// Release device copies (e.g. before tearing down the machine).
+  void clear(sg::HostContext& ctx);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    std::uint64_t type_id;
+    std::int64_t count;
+    std::int64_t unit_bytes;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<std::uint64_t>{}(k.type_id);
+      h = h * 1099511628211ULL ^ std::hash<std::int64_t>{}(k.count);
+      h = h * 1099511628211ULL ^ std::hash<std::int64_t>{}(k.unit_bytes);
+      return h;
+    }
+  };
+
+  void evict_if_needed(sg::HostContext& ctx);
+  void touch(const Key& k) const;
+
+  std::size_t max_entries_;
+  std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace gpuddt::core

@@ -1,0 +1,168 @@
+#include "core/kernels.h"
+
+#include <cstring>
+
+namespace gpuddt::core {
+
+namespace {
+
+/// How one side of a copy is reached from the kernel's device.
+enum class Side { kLocalDevice, kPeerDevice, kMappedHost };
+
+Side classify(const sg::HostContext& ctx, const sg::Stream& stream,
+              const void* p) {
+  const sg::PtrAttributes a = ctx.machine->query(p);
+  if (a.space == sg::MemorySpace::kDevice) {
+    return a.device == stream.device().id() ? Side::kLocalDevice
+                                            : Side::kPeerDevice;
+  }
+  // Pinned-mapped or plain host memory: reached over PCI-E (the simulator
+  // is permissive about non-mapped host pointers; the cost is identical).
+  return Side::kMappedHost;
+}
+
+/// Accumulates the timing profile of a gather/scatter kernel.
+struct Traffic {
+  const sg::CostModel* cm;
+  Side src_side;
+  Side dst_side;
+  sg::KernelProfile prof;
+
+  Traffic(const sg::HostContext& ctx, const sg::Stream& stream,
+          const void* src_base, const void* dst_base, int blocks)
+      : cm(&ctx.cost()),
+        src_side(classify(ctx, stream, src_base)),
+        dst_side(classify(ctx, stream, dst_base)) {
+    prof.blocks = blocks;
+    if (src_side == Side::kMappedHost) prof.pcie_dir = sg::PcieDir::kFromHost;
+    if (dst_side == Side::kMappedHost) prof.pcie_dir = sg::PcieDir::kToHost;
+    if (src_side == Side::kPeerDevice || dst_side == Side::kPeerDevice)
+      prof.pcie_dir = sg::PcieDir::kPeer;
+  }
+
+  void add(std::int64_t src_off, std::int64_t dst_off, std::int64_t len) {
+    add_side(src_side, src_off, len);
+    add_side(dst_side, dst_off, len);
+    prof.warp_rounds += (len + 255) / 256;
+  }
+
+  /// Charge descriptor-array reads (the kernel streams the CudaDevDist
+  /// array from device memory).
+  void add_descriptor_reads(std::int64_t n_units) {
+    prof.device_txn_bytes +=
+        ((n_units * static_cast<std::int64_t>(sizeof(CudaDevDist))) +
+         cm->mem_txn_bytes - 1) /
+        cm->mem_txn_bytes * cm->mem_txn_bytes;
+  }
+
+ private:
+  void add_side(Side side, std::int64_t off, std::int64_t len) {
+    switch (side) {
+      case Side::kLocalDevice:
+        prof.device_txn_bytes += cm->txn_lines(off, len) * cm->mem_txn_bytes;
+        break;
+      case Side::kPeerDevice:
+      case Side::kMappedHost:
+        prof.pcie_bytes += len;
+        break;
+    }
+  }
+};
+
+/// Iterate the (src_off, dst_off, len) pieces of a packed-range vector
+/// operation. `fn(src_off, pk_off, len)` with pk_off relative to pk_lo.
+template <typename Fn>
+void for_vector_range(const mpi::RegularPattern& pat, std::int64_t pk_lo,
+                      std::int64_t pk_hi, Fn&& fn) {
+  if (pat.blocklen <= 0) return;
+  std::int64_t pk = pk_lo;
+  while (pk < pk_hi) {
+    const std::int64_t blk = pk / pat.blocklen;
+    if (blk >= pat.count) break;
+    const std::int64_t intra = pk - blk * pat.blocklen;
+    const std::int64_t take =
+        std::min(pat.blocklen - intra, pk_hi - pk);
+    fn(pat.first_disp + blk * pat.stride + intra, pk - pk_lo, take);
+    pk += take;
+  }
+}
+
+}  // namespace
+
+vt::Time pack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
+                            const void* src_base,
+                            const mpi::RegularPattern& pat, std::int64_t pk_lo,
+                            std::int64_t pk_hi, void* dst, int blocks) {
+  Traffic t(ctx, stream, src_base, dst, blocks);
+  for_vector_range(pat, pk_lo, pk_hi,
+                   [&](std::int64_t s, std::int64_t d, std::int64_t len) {
+                     t.add(s, d, len);
+                   });
+  const auto* sb = static_cast<const std::byte*>(src_base);
+  auto* db = static_cast<std::byte*>(dst);
+  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
+    for_vector_range(pat, pk_lo, pk_hi,
+                     [&](std::int64_t s, std::int64_t d, std::int64_t len) {
+                       std::memcpy(db + d, sb + s,
+                                   static_cast<std::size_t>(len));
+                     });
+  });
+}
+
+vt::Time unpack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
+                              void* dst_base, const mpi::RegularPattern& pat,
+                              std::int64_t pk_lo, std::int64_t pk_hi,
+                              const void* src, int blocks) {
+  Traffic t(ctx, stream, src, dst_base, blocks);
+  for_vector_range(pat, pk_lo, pk_hi,
+                   [&](std::int64_t d, std::int64_t s, std::int64_t len) {
+                     t.add(s, d, len);
+                   });
+  auto* db = static_cast<std::byte*>(dst_base);
+  const auto* sb = static_cast<const std::byte*>(src);
+  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
+    for_vector_range(pat, pk_lo, pk_hi,
+                     [&](std::int64_t d, std::int64_t s, std::int64_t len) {
+                       std::memcpy(db + d, sb + s,
+                                   static_cast<std::size_t>(len));
+                     });
+  });
+}
+
+vt::Time pack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
+                         const void* src_base,
+                         std::span<const CudaDevDist> units,
+                         std::int64_t pk_base, void* dst,
+                         const CudaDevDist* /*device_units*/, int blocks) {
+  Traffic t(ctx, stream, src_base, dst, blocks);
+  for (const auto& u : units) t.add(u.nc_disp, u.pk_disp - pk_base, u.length);
+  t.add_descriptor_reads(static_cast<std::int64_t>(units.size()));
+  const auto* sb = static_cast<const std::byte*>(src_base);
+  auto* db = static_cast<std::byte*>(dst);
+  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
+    for (const auto& u : units) {
+      std::memcpy(db + (u.pk_disp - pk_base), sb + u.nc_disp,
+                  static_cast<std::size_t>(u.length));
+    }
+  });
+}
+
+vt::Time unpack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
+                           void* dst_base,
+                           std::span<const CudaDevDist> units,
+                           std::int64_t pk_base, const void* src,
+                           const CudaDevDist* /*device_units*/, int blocks) {
+  Traffic t(ctx, stream, src, dst_base, blocks);
+  for (const auto& u : units) t.add(u.pk_disp - pk_base, u.nc_disp, u.length);
+  t.add_descriptor_reads(static_cast<std::int64_t>(units.size()));
+  auto* db = static_cast<std::byte*>(dst_base);
+  const auto* sb = static_cast<const std::byte*>(src);
+  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
+    for (const auto& u : units) {
+      std::memcpy(db + u.nc_disp, sb + (u.pk_disp - pk_base),
+                  static_cast<std::size_t>(u.length));
+    }
+  });
+}
+
+}  // namespace gpuddt::core

@@ -1,0 +1,67 @@
+#include "core/layouts.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace gpuddt::core {
+
+using mpi::Datatype;
+using mpi::DatatypePtr;
+
+DatatypePtr submatrix_type(std::int64_t rows, std::int64_t cols,
+                           std::int64_t ld) {
+  if (rows > ld) throw std::invalid_argument("submatrix: rows exceed ld");
+  return Datatype::vector(cols, rows, ld, mpi::kDouble());
+}
+
+DatatypePtr lower_triangular_type(std::int64_t n, std::int64_t ld) {
+  if (n > ld) throw std::invalid_argument("triangular: n exceeds ld");
+  std::vector<std::int64_t> lens(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> displs(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    lens[static_cast<std::size_t>(j)] = n - j;
+    displs[static_cast<std::size_t>(j)] = j * ld + j;
+  }
+  return Datatype::indexed(lens, displs, mpi::kDouble());
+}
+
+DatatypePtr upper_triangular_type(std::int64_t n, std::int64_t ld) {
+  if (n > ld) throw std::invalid_argument("triangular: n exceeds ld");
+  std::vector<std::int64_t> lens(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> displs(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    lens[static_cast<std::size_t>(j)] = j + 1;
+    displs[static_cast<std::size_t>(j)] = j * ld;
+  }
+  return Datatype::indexed(lens, displs, mpi::kDouble());
+}
+
+DatatypePtr stair_triangular_type(std::int64_t n, std::int64_t ld,
+                                  std::int64_t nb) {
+  if (n > ld) throw std::invalid_argument("stair: n exceeds ld");
+  if (nb <= 0) throw std::invalid_argument("stair: nb must be positive");
+  std::vector<std::int64_t> lens(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> displs(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t r = (j / nb) * nb;
+    lens[static_cast<std::size_t>(j)] = n - r;
+    displs[static_cast<std::size_t>(j)] = j * ld + r;
+  }
+  return Datatype::indexed(lens, displs, mpi::kDouble());
+}
+
+DatatypePtr transpose_type(std::int64_t n, std::int64_t ld) {
+  // One row of the column-major matrix: n elements, ld apart.
+  DatatypePtr row = Datatype::vector(n, 1, ld, mpi::kDouble());
+  // n rows, each starting one element after the previous.
+  return Datatype::hvector(n, 1, static_cast<std::int64_t>(sizeof(double)),
+                           row);
+}
+
+std::int64_t stair_triangle_elems(std::int64_t n, std::int64_t nb) {
+  std::int64_t total = 0;
+  for (std::int64_t j = 0; j < n; ++j) total += n - (j / nb) * nb;
+  return total;
+}
+
+}  // namespace gpuddt::core

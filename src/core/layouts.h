@@ -1,0 +1,51 @@
+// The memory layouts of the paper's evaluation (Section 5), as reusable
+// datatype builders. All matrices are column-major double-precision, as in
+// ScaLAPACK (the paper's motivating library):
+//
+//  * sub-matrix            -> MPI vector        (the "V" series)
+//  * lower triangular      -> MPI indexed       (the "T" series)
+//  * stair-shaped triangle -> MPI indexed       (Figure 5's occupancy probe)
+//  * matrix transpose      -> N single-element-column vectors (Section 5.2.3)
+//  * FFT reshape           -> vector <-> contiguous (Section 5.2.2)
+#pragma once
+
+#include <cstdint>
+
+#include "mpi/datatype.h"
+
+namespace gpuddt::core {
+
+/// rows x cols sub-matrix out of an ld x (>=cols) column-major double
+/// matrix: vector(count=cols, blocklen=rows, stride=ld).
+mpi::DatatypePtr submatrix_type(std::int64_t rows, std::int64_t cols,
+                                std::int64_t ld);
+
+/// Lower triangular (including diagonal) of an n x n column-major double
+/// matrix stored with leading dimension ld: indexed, column j holding
+/// n - j elements at element-displacement j*ld + j.
+mpi::DatatypePtr lower_triangular_type(std::int64_t n, std::int64_t ld);
+
+/// Upper triangular (including diagonal): column j holds j + 1 elements at
+/// displacement j*ld.
+mpi::DatatypePtr upper_triangular_type(std::int64_t n, std::int64_t ld);
+
+/// Stair-shaped lower triangle (Figure 5): column j starts at row
+/// (j / nb) * nb, so every column in a stair of width nb has the same
+/// aligned start and a length that is a multiple of nb.
+mpi::DatatypePtr stair_triangular_type(std::int64_t n, std::int64_t ld,
+                                       std::int64_t nb);
+
+/// The transpose view of an n x n column-major double matrix: reading with
+/// this type yields the matrix in row-major order, i.e. the transpose. A
+/// collection of n single-element-column vectors (the paper's stress
+/// test).
+mpi::DatatypePtr transpose_type(std::int64_t n, std::int64_t ld);
+
+/// Number of doubles in a lower triangle of order n.
+constexpr std::int64_t lower_triangle_elems(std::int64_t n) {
+  return n * (n + 1) / 2;
+}
+
+std::int64_t stair_triangle_elems(std::int64_t n, std::int64_t nb);
+
+}  // namespace gpuddt::core

@@ -1,0 +1,19 @@
+#include "mpi/bml.h"
+
+namespace gpuddt::mpi {
+
+Bml::Bml(Runtime& rt)
+    : rt_(rt),
+      sm_btl_(std::make_unique<SmBtl>(rt)),
+      ib_btl_(std::make_unique<IbBtl>(rt)) {}
+
+Bml::~Bml() = default;
+
+Btl& Bml::between(int rank_a, int rank_b) {
+  // Selection policy: the shared-memory BTL for co-located ranks, the IB
+  // BTL otherwise. (With more BTLs this is where latency/bandwidth-based
+  // scoring would live.)
+  return rt_.node_of(rank_a) == rt_.node_of(rank_b) ? *sm_btl_ : *ib_btl_;
+}
+
+}  // namespace gpuddt::mpi

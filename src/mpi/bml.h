@@ -1,0 +1,34 @@
+// BTL Management Layer (BML).
+//
+// The middle layer of Open MPI's communication stack: owns the BTL
+// instances, selects the best one per peer pair (shared memory within a
+// node, InfiniBand across nodes), and manages multi-link ("multi-rail")
+// transfers - consecutive large messages round-robin across the available
+// IB rails, so a pipelined fragment stream aggregates the bandwidth of
+// every rail.
+#pragma once
+
+#include <memory>
+
+#include "mpi/btl.h"
+
+namespace gpuddt::mpi {
+
+class Bml {
+ public:
+  explicit Bml(Runtime& rt);
+  ~Bml();
+
+  /// The BTL serving traffic between two ranks.
+  Btl& between(int rank_a, int rank_b);
+
+  Btl& sm() { return *sm_btl_; }
+  Btl& ib() { return *ib_btl_; }
+
+ private:
+  Runtime& rt_;
+  std::unique_ptr<Btl> sm_btl_;
+  std::unique_ptr<Btl> ib_btl_;
+};
+
+}  // namespace gpuddt::mpi

@@ -1,0 +1,72 @@
+// Datatype traversal.
+//
+// BlockCursor walks the compiled loop/block program of `count` elements of
+// a datatype and yields the contiguous blocks in layout order. It supports
+// *partial* consumption (stop mid-block after an exact byte budget), which
+// is what lets the PML fragment messages and the GPU engine pipeline
+// pack/unpack - the cursor is the moral equivalent of Open MPI's
+// convertor position.
+//
+// Cursor state is a small copyable value: protocols snapshot it freely.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "mpi/datatype.h"
+
+namespace gpuddt::mpi {
+
+/// One contiguous piece of a datatype: `offset` bytes from the user base
+/// pointer, `len` bytes long.
+struct Block {
+  std::int64_t offset = 0;
+  std::int64_t len = 0;
+};
+
+class BlockCursor {
+ public:
+  BlockCursor() = default;
+  BlockCursor(DatatypePtr dt, std::int64_t count);
+
+  /// Produce the next piece, at most `max_bytes` long. Returns false when
+  /// the traversal is complete. A block longer than `max_bytes` is split;
+  /// the next call resumes inside it.
+  bool next(std::int64_t max_bytes, Block* out);
+
+  /// Convenience: full blocks.
+  bool next(Block* out) { return next(INT64_MAX, out); }
+
+  bool done() const { return remaining_ == 0; }
+  std::int64_t bytes_remaining() const { return remaining_; }
+  std::int64_t bytes_consumed() const { return total_ - remaining_; }
+  std::int64_t total_bytes() const { return total_; }
+
+  /// Number of blocks (including partial pieces) produced so far; the cost
+  /// model charges host traversal per piece.
+  std::int64_t pieces_produced() const { return pieces_; }
+
+ private:
+  struct Frame {
+    std::int32_t loop_instr = 0;  // index of the kLoop instruction
+    std::int64_t iter = 0;
+    std::int64_t base = 0;    // frame base of the current iteration
+    std::int64_t origin = 0;  // parent base + loop disp
+  };
+
+  void advance_instr();
+
+  DatatypePtr dt_;
+  std::int64_t count_ = 0;
+  std::int64_t elem_ = 0;      // current element index
+  std::int64_t elem_base_ = 0; // elem_ * extent
+  std::int32_t ip_ = 0;        // instruction pointer within program
+  std::vector<Frame> stack_;
+  std::int64_t in_block_ = 0;  // bytes consumed of the current block
+  std::int64_t remaining_ = 0;
+  std::int64_t total_ = 0;
+  std::int64_t pieces_ = 0;
+};
+
+}  // namespace gpuddt::mpi

@@ -1,0 +1,144 @@
+#include "mpi/runtime.h"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "mpi/bml.h"
+#include "mpi/btl.h"
+#include "mpi/pml.h"
+
+namespace gpuddt::mpi {
+
+// --- Process -----------------------------------------------------------------
+
+Process::Process(Runtime& rt, int rank)
+    : rt_(rt),
+      rank_(rank),
+      node_(rt.node_of(rank)),
+      gpu_(rt.machine(), rt.device_of(rank)),
+      pml_(std::make_unique<Pml>(*this)) {}
+
+Process::~Process() = default;
+
+int Process::size() const { return rt_.config().world_size; }
+
+const RuntimeConfig& Process::config() const { return rt_.config(); }
+
+int Process::node_of(int rank) const { return rt_.node_of(rank); }
+
+vt::Time Process::am_send(int dst, int handler,
+                          std::vector<std::byte> payload, vt::Time earliest) {
+  return rt_.btl_between(rank_, dst)
+      .am_send(*this, dst, handler, std::move(payload), earliest);
+}
+
+bool Process::progress() {
+  bool any = false;
+  for (;;) {
+    AmMessage m;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      if (inbox_.empty()) break;
+      m = std::move(inbox_.front());
+      inbox_.pop_front();
+    }
+    // A rank cannot react to a message before its bytes have arrived.
+    clock().wait_until(m.arrival);
+    rt_.handler(m.handler)(*this, m);
+    any = true;
+  }
+  return any;
+}
+
+void Process::progress_blocking() {
+  if (progress()) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config().progress_timeout_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(inbox_mu_);
+      if (inbox_.empty()) {
+        if (inbox_cv_.wait_until(lock, deadline) ==
+                std::cv_status::timeout &&
+            inbox_.empty()) {
+          throw std::runtime_error(
+              "Process::progress_blocking: no traffic before timeout "
+              "(likely deadlock) on rank " +
+              std::to_string(rank_));
+        }
+      }
+    }
+    if (progress()) return;
+  }
+}
+
+void Process::deliver(AmMessage&& m) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(std::move(m));
+  }
+  inbox_cv_.notify_one();
+}
+
+// --- Runtime ----------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.world_size < 1)
+    throw std::invalid_argument("Runtime: world_size must be >= 1");
+  if (cfg_.ranks_per_node < 1)
+    throw std::invalid_argument("Runtime: ranks_per_node must be >= 1");
+  machine_ = std::make_unique<sg::Machine>(cfg_.machine);
+  bml_ = std::make_unique<Bml>(*this);
+  Pml::register_handlers(*this);
+}
+
+Runtime::~Runtime() = default;
+
+int Runtime::register_handler(AmHandler h) {
+  if (ran_)
+    throw std::logic_error("Runtime: handlers must be registered before run");
+  handlers_.push_back(std::move(h));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void Runtime::set_gpu_plugin(std::shared_ptr<GpuTransferPlugin> plugin) {
+  if (ran_) throw std::logic_error("Runtime: plugin must be set before run");
+  plugin_ = std::move(plugin);
+  if (plugin_) plugin_->attach(*this);
+}
+
+int Runtime::device_of(int rank) const {
+  if (cfg_.device_of) return cfg_.device_of(rank);
+  return rank % machine_->num_devices();
+}
+
+Btl& Runtime::btl_between(int a, int b) { return bml_->between(a, b); }
+
+void Runtime::run(const std::function<void(Process&)>& fn) {
+  if (ran_) throw std::logic_error("Runtime::run may only be called once");
+  ran_ = true;
+  procs_.clear();
+  for (int r = 0; r < cfg_.world_size; ++r)
+    procs_.push_back(std::make_unique<Process>(*this, r));
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(cfg_.world_size);
+  threads.reserve(cfg_.world_size);
+  for (int r = 0; r < cfg_.world_size; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*procs_[r]);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace gpuddt::mpi

@@ -1,0 +1,244 @@
+#include "rma/window.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace gpuddt::rma {
+
+namespace {
+// MPI requires element-wise atomicity for concurrent accumulates with the
+// same op. The functional read-modify-write below is protected coarsely;
+// virtual time is unaffected (the cost model already serializes nothing
+// here, matching MPI's undefined ordering).
+std::mutex g_accumulate_mu;
+}  // namespace
+
+using Dir = core::GpuDatatypeEngine::Dir;
+
+Window::Window(mpi::Comm comm, void* base, std::int64_t bytes)
+    : comm_(comm), coll_(comm) {
+  engine_ = std::make_unique<core::GpuDatatypeEngine>(comm_.process().gpu());
+  // Collective creation: exchange window bases and sizes.
+  const int n = comm_.size();
+  bases_.resize(static_cast<std::size_t>(n));
+  sizes_.resize(static_cast<std::size_t>(n));
+  struct Desc {
+    std::uint64_t base;
+    std::int64_t size;
+  };
+  std::vector<Desc> all(static_cast<std::size_t>(n));
+  Desc mine{reinterpret_cast<std::uint64_t>(base), bytes};
+  coll_.allgather(&mine, all.data(),
+                  static_cast<std::int64_t>(sizeof(Desc)), mpi::kByte());
+  for (int r = 0; r < n; ++r) {
+    bases_[static_cast<std::size_t>(r)] =
+        reinterpret_cast<std::byte*>(all[static_cast<std::size_t>(r)].base);
+    sizes_[static_cast<std::size_t>(r)] =
+        all[static_cast<std::size_t>(r)].size;
+  }
+}
+
+void Window::fence() {
+  // Remote completion: every rank's epoch horizon must have passed for
+  // everyone before the epoch may close.
+  std::int64_t mine = epoch_horizon_;
+  std::int64_t global = 0;
+  coll_.allreduce(&mine, &global, 1, mpi::kInt64(), mpi::ReduceOp::kMax);
+  comm_.process().clock().wait_until(global);
+  epoch_horizon_ = 0;
+}
+
+std::byte* Window::target_ptr(int target, std::int64_t disp,
+                              std::int64_t bytes) const {
+  if (target < 0 || target >= comm_.size())
+    throw std::invalid_argument("Window: bad target rank");
+  if (disp < 0 || disp + bytes > sizes_[static_cast<std::size_t>(target)])
+    throw std::invalid_argument("Window: access outside the target window");
+  return bases_[static_cast<std::size_t>(target)] + disp;
+}
+
+vt::Time Window::pack_to(const void* buf, std::int64_t count,
+                         const mpi::DatatypePtr& dt, std::byte* out,
+                         vt::Time dep) {
+  mpi::Process& p = comm_.process();
+  const std::int64_t total = dt->size() * count;
+  if (p.runtime().machine().is_device_ptr(buf)) {
+    auto op = engine_->start(Dir::kPack, dt, count, const_cast<void*>(buf));
+    vt::Time last = dep;
+    while (!op->done()) {
+      const auto r =
+          engine_->process_some(*op, out + op->bytes_done(), total, dep);
+      if (r.bytes == 0) break;
+      last = r.ready;
+    }
+    engine_->finish(*op);
+    return last;
+  }
+  const mpi::PackStats st = mpi::cpu_pack(
+      dt, count, buf,
+      std::span<std::byte>(out, static_cast<std::size_t>(total)));
+  p.pml().charge_cpu_pack(st);
+  return std::max(dep, p.clock().now());
+}
+
+vt::Time Window::unpack_from(const std::byte* in, void* buf,
+                             std::int64_t count, const mpi::DatatypePtr& dt,
+                             vt::Time dep) {
+  mpi::Process& p = comm_.process();
+  const std::int64_t total = dt->size() * count;
+  if (p.runtime().machine().is_device_ptr(buf)) {
+    auto op = engine_->start(Dir::kUnpack, dt, count, buf);
+    vt::Time last = dep;
+    while (!op->done()) {
+      const auto r = engine_->process_some(
+          *op, const_cast<std::byte*>(in) + op->bytes_done(), total, dep);
+      if (r.bytes == 0) break;
+      last = r.ready;
+    }
+    engine_->finish(*op);
+    return last;
+  }
+  const mpi::PackStats st = mpi::cpu_unpack(
+      dt, count,
+      std::span<const std::byte>(in, static_cast<std::size_t>(total)), buf);
+  p.pml().charge_cpu_pack(st);
+  return std::max(dep, p.clock().now());
+}
+
+void Window::put(const void* origin, std::int64_t origin_count,
+                 const mpi::DatatypePtr& origin_dt, int target,
+                 std::int64_t target_disp, std::int64_t target_count,
+                 const mpi::DatatypePtr& target_dt) {
+  const std::int64_t total = origin_dt->size() * origin_count;
+  if (total != target_dt->size() * target_count)
+    throw std::invalid_argument("Window::put: size mismatch");
+  if (total == 0) return;
+  std::byte* tptr = target_ptr(
+      target, target_disp,
+      target_dt->true_lb() + target_dt->true_extent() +
+          (target_count - 1) * target_dt->extent());
+  mpi::Process& p = comm_.process();
+  // Stage through a contiguous buffer on the origin's device (or host if
+  // neither side is device-resident): pack, then scatter into the target
+  // layout - both halves driven by the origin.
+  const bool any_device = p.runtime().machine().is_device_ptr(origin) ||
+                          p.runtime().machine().is_device_ptr(tptr);
+  std::byte* staging;
+  std::vector<std::byte> host_staging;
+  if (any_device) {
+    staging = static_cast<std::byte*>(
+        sg::Malloc(p.gpu(), static_cast<std::size_t>(total)));
+  } else {
+    host_staging.resize(static_cast<std::size_t>(total));
+    staging = host_staging.data();
+  }
+  const vt::Time packed =
+      pack_to(origin, origin_count, origin_dt, staging, p.clock().now());
+  const vt::Time done =
+      unpack_from(staging, tptr, target_count, target_dt, packed);
+  epoch_horizon_ = std::max(epoch_horizon_, done);
+  if (any_device) sg::Free(p.gpu(), staging);
+}
+
+void Window::get(void* origin, std::int64_t origin_count,
+                 const mpi::DatatypePtr& origin_dt, int target,
+                 std::int64_t target_disp, std::int64_t target_count,
+                 const mpi::DatatypePtr& target_dt) {
+  const std::int64_t total = origin_dt->size() * origin_count;
+  if (total != target_dt->size() * target_count)
+    throw std::invalid_argument("Window::get: size mismatch");
+  if (total == 0) return;
+  std::byte* tptr = target_ptr(
+      target, target_disp,
+      target_dt->true_lb() + target_dt->true_extent() +
+          (target_count - 1) * target_dt->extent());
+  mpi::Process& p = comm_.process();
+  const bool any_device = p.runtime().machine().is_device_ptr(origin) ||
+                          p.runtime().machine().is_device_ptr(tptr);
+  std::byte* staging;
+  std::vector<std::byte> host_staging;
+  if (any_device) {
+    staging = static_cast<std::byte*>(
+        sg::Malloc(p.gpu(), static_cast<std::size_t>(total)));
+  } else {
+    host_staging.resize(static_cast<std::size_t>(total));
+    staging = host_staging.data();
+  }
+  const vt::Time fetched =
+      pack_to(tptr, target_count, target_dt, staging, p.clock().now());
+  const vt::Time done =
+      unpack_from(staging, origin, origin_count, origin_dt, fetched);
+  epoch_horizon_ = std::max(epoch_horizon_, done);
+  p.clock().wait_until(done);  // a get is locally complete when it returns
+  if (any_device) sg::Free(p.gpu(), staging);
+}
+
+void Window::accumulate(const void* origin, std::int64_t origin_count,
+                        const mpi::DatatypePtr& origin_dt, int target,
+                        std::int64_t target_disp, std::int64_t target_count,
+                        const mpi::DatatypePtr& target_dt, mpi::ReduceOp op) {
+  const std::int64_t total = origin_dt->size() * origin_count;
+  if (total != target_dt->size() * target_count)
+    throw std::invalid_argument("Window::accumulate: size mismatch");
+  if (total == 0) return;
+  const mpi::Signature& sig = origin_dt->signature();
+  if (sig.runs.size() != 1 || sig.overflow_hash != 0)
+    throw std::invalid_argument(
+        "Window::accumulate: single-primitive datatypes only");
+  std::byte* tptr = target_ptr(
+      target, target_disp,
+      target_dt->true_lb() + target_dt->true_extent() +
+          (target_count - 1) * target_dt->extent());
+  mpi::Process& p = comm_.process();
+
+  // Read-modify-write on the packed representation, staged through host
+  // memory (where the ALU work happens).
+  std::vector<std::byte> ours(static_cast<std::size_t>(total));
+  std::vector<std::byte> theirs(static_cast<std::size_t>(total));
+  const vt::Time t1 =
+      pack_to(origin, origin_count, origin_dt, ours.data(), p.clock().now());
+  const vt::Time t2 = pack_to(tptr, target_count, target_dt, theirs.data(),
+                              std::max(t1, p.clock().now()));
+  // Element-wise combine (host ALU; ~4 GB/s like the collectives).
+  std::lock_guard<std::mutex> lock(g_accumulate_mu);
+  const mpi::Primitive prim = sig.runs[0].prim;
+  switch (prim) {
+    case mpi::Primitive::kInt32: {
+      auto* a = reinterpret_cast<std::int32_t*>(theirs.data());
+      const auto* b = reinterpret_cast<const std::int32_t*>(ours.data());
+      for (std::int64_t i = 0; i < total / 4; ++i) {
+        switch (op) {
+          case mpi::ReduceOp::kSum: a[i] += b[i]; break;
+          case mpi::ReduceOp::kProd: a[i] *= b[i]; break;
+          case mpi::ReduceOp::kMax: a[i] = std::max(a[i], b[i]); break;
+          case mpi::ReduceOp::kMin: a[i] = std::min(a[i], b[i]); break;
+        }
+      }
+      break;
+    }
+    case mpi::Primitive::kDouble: {
+      auto* a = reinterpret_cast<double*>(theirs.data());
+      const auto* b = reinterpret_cast<const double*>(ours.data());
+      for (std::int64_t i = 0; i < total / 8; ++i) {
+        switch (op) {
+          case mpi::ReduceOp::kSum: a[i] += b[i]; break;
+          case mpi::ReduceOp::kProd: a[i] *= b[i]; break;
+          case mpi::ReduceOp::kMax: a[i] = std::max(a[i], b[i]); break;
+          case mpi::ReduceOp::kMin: a[i] = std::min(a[i], b[i]); break;
+        }
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument(
+          "Window::accumulate: int32/double elements only");
+  }
+  p.clock().advance(vt::transfer_time(total, 4.0));
+  const vt::Time done = unpack_from(theirs.data(), tptr, target_count,
+                                    target_dt, std::max(t2, p.clock().now()));
+  epoch_horizon_ = std::max(epoch_horizon_, done);
+}
+
+}  // namespace gpuddt::rma

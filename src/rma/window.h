@@ -1,0 +1,84 @@
+// MPI-3 style one-sided communication (RMA windows).
+//
+// The second "different programming paradigm" port the paper's conclusion
+// anticipates (alongside OpenSHMEM): fence-synchronized windows whose
+// put/get/accumulate accept MPI *datatypes on both sides* - the origin
+// description is packed and the target description unpacked by the GPU
+// datatype engine when the respective buffer is device-resident, exactly
+// like the two ends of a Section 4 transfer, but driven entirely by the
+// origin process.
+//
+// Synchronization model: active-target fence epochs (MPI_Win_fence). All
+// ranks call fence(); one-sided operations issued between two fences are
+// complete - locally and remotely, in virtual time too - once the closing
+// fence returns. Conflicting accesses to the same target bytes within one
+// epoch are the caller's responsibility (as in MPI).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "mpi/coll.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+
+namespace gpuddt::rma {
+
+class Window {
+ public:
+  /// Collective over all ranks of `comm`: every rank exposes
+  /// [base, base + bytes). Buffers may be host or device memory.
+  Window(mpi::Comm comm, void* base, std::int64_t bytes);
+
+  std::int64_t size_at(int rank) const { return sizes_.at(rank); }
+
+  /// Close the current epoch and open the next one (MPI_Win_fence):
+  /// collective; on return every one-sided op issued by any rank in the
+  /// closed epoch is globally complete.
+  void fence();
+
+  /// One-sided put: `origin_count` elements of `origin_dt` at `origin`
+  /// land at the target's window offset `target_disp` (bytes) laid out as
+  /// (`target_dt`, `target_count`). Signatures must carry the same byte
+  /// count.
+  void put(const void* origin, std::int64_t origin_count,
+           const mpi::DatatypePtr& origin_dt, int target,
+           std::int64_t target_disp, std::int64_t target_count,
+           const mpi::DatatypePtr& target_dt);
+
+  /// One-sided get: the reverse direction.
+  void get(void* origin, std::int64_t origin_count,
+           const mpi::DatatypePtr& origin_dt, int target,
+           std::int64_t target_disp, std::int64_t target_count,
+           const mpi::DatatypePtr& target_dt);
+
+  /// One-sided accumulate (MPI_Accumulate): combine the origin data into
+  /// the target with `op`. Restricted to single-primitive datatypes, like
+  /// the collectives' reductions.
+  void accumulate(const void* origin, std::int64_t origin_count,
+                  const mpi::DatatypePtr& origin_dt, int target,
+                  std::int64_t target_disp, std::int64_t target_count,
+                  const mpi::DatatypePtr& target_dt, mpi::ReduceOp op);
+
+ private:
+  /// Pack `count` elements of `dt` at `buf` into `out` (GPU engine for
+  /// device memory, CPU engine otherwise). Returns data-ready time.
+  vt::Time pack_to(const void* buf, std::int64_t count,
+                   const mpi::DatatypePtr& dt, std::byte* out,
+                   vt::Time dep);
+  vt::Time unpack_from(const std::byte* in, void* buf, std::int64_t count,
+                       const mpi::DatatypePtr& dt, vt::Time dep);
+  std::byte* target_ptr(int target, std::int64_t disp,
+                        std::int64_t bytes) const;
+
+  mpi::Comm comm_;
+  std::vector<std::byte*> bases_;   // every rank's window base
+  std::vector<std::int64_t> sizes_;
+  std::unique_ptr<core::GpuDatatypeEngine> engine_;
+  mpi::Collectives coll_;
+  vt::Time epoch_horizon_ = 0;  // completion of this epoch's one-sided ops
+};
+
+}  // namespace gpuddt::rma

@@ -1,0 +1,115 @@
+// A simple thread-safe first-fit arena allocator.
+//
+// Each simulated device owns one arena backed by a single host allocation;
+// "device pointers" are real host pointers into that block, which lets the
+// simulated kernels and copy engines move bytes with plain memcpy while the
+// pointer registry still distinguishes address spaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace gpuddt::sg {
+
+class Arena {
+ public:
+  /// Allocation alignment; 512 mirrors cudaMalloc's large alignment and
+  /// keeps every fresh device buffer transaction-aligned.
+  static constexpr std::size_t kAlign = 512;
+
+  explicit Arena(std::size_t capacity)
+      : capacity_(round_up(capacity)),
+        // Default-initialized (not zeroed): device memory is large and a
+        // fresh cudaMalloc'd buffer has unspecified contents anyway.
+        storage_(std::make_unique_for_overwrite<std::byte[]>(capacity_ +
+                                                             kAlign)) {
+    const auto raw = reinterpret_cast<std::uintptr_t>(storage_.get());
+    base_ = storage_.get() + (kAlign - raw % kAlign) % kAlign;
+    free_[base()] = capacity_;
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  std::byte* base() const { return base_; }
+  std::size_t capacity() const { return capacity_; }
+
+  bool contains(const void* p) const {
+    auto* b = static_cast<const std::byte*>(p);
+    return b >= base() && b < base() + capacity_;
+  }
+
+  std::byte* allocate(std::size_t bytes) {
+    const std::size_t need = round_up(bytes == 0 ? 1 : bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second >= need) {
+        std::byte* p = it->first;
+        const std::size_t remaining = it->second - need;
+        free_.erase(it);
+        if (remaining > 0) free_[p + need] = remaining;
+        allocated_[p] = need;
+        in_use_ += need;
+        return p;
+      }
+    }
+    throw std::bad_alloc();
+  }
+
+  void deallocate(std::byte* p) {
+    if (p == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = allocated_.find(p);
+    if (it == allocated_.end())
+      throw std::invalid_argument("Arena::deallocate: unknown pointer");
+    std::size_t size = it->second;
+    in_use_ -= size;
+    allocated_.erase(it);
+    // Coalesce with the next free block.
+    auto next = free_.lower_bound(p);
+    if (next != free_.end() && p + size == next->first) {
+      size += next->second;
+      next = free_.erase(next);
+    }
+    // Coalesce with the previous free block.
+    if (next != free_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second == p) {
+        prev->second += size;
+        return;
+      }
+    }
+    free_[p] = size;
+  }
+
+  std::size_t bytes_in_use() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_use_;
+  }
+
+  /// Size of the live allocation starting at p (0 if p is not live).
+  std::size_t allocation_size(const void* p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = allocated_.find(const_cast<std::byte*>(static_cast<const std::byte*>(p)));
+    return it == allocated_.end() ? 0 : it->second;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    return (n + kAlign - 1) / kAlign * kAlign;
+  }
+
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> storage_;
+  std::byte* base_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<std::byte*, std::size_t> free_;       // start -> size
+  std::map<std::byte*, std::size_t> allocated_;  // start -> size
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace gpuddt::sg

@@ -1,0 +1,152 @@
+// The simulated heterogeneous node: host memory plus a set of GPU devices.
+//
+// Machine owns the device arenas, the pointer registry (what address space
+// does a pointer live in?) and the timed resources of every device. It is
+// shared by all simulated MPI ranks of a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "simgpu/arena.h"
+#include "simgpu/cost_model.h"
+#include "vtime/resource.h"
+
+namespace gpuddt::sg {
+
+enum class MemorySpace {
+  kUnregisteredHost,  // ordinary host memory
+  kPinnedHost,        // page-locked host memory (HostAlloc)
+  kMappedHost,        // page-locked and mapped into device space (zero-copy)
+  kDevice,            // GPU memory
+};
+
+struct PtrAttributes {
+  MemorySpace space = MemorySpace::kUnregisteredHost;
+  int device = -1;  // owning device for kDevice pointers
+};
+
+struct MachineConfig {
+  int num_devices = 2;
+  /// SMs per device (K40: 15 SMX).
+  int sms_per_device = 15;
+  /// Bytes of simulated device memory per device.
+  std::size_t device_memory_bytes = std::size_t{1} << 30;
+  CostModel cost;
+};
+
+/// One simulated GPU.
+class Device {
+ public:
+  Device(int id, const MachineConfig& cfg)
+      : id_(id), arena_(cfg.device_memory_bytes), sm_(cfg.sms_per_device) {}
+
+  int id() const { return id_; }
+  Arena& arena() { return arena_; }
+  const Arena& arena() const { return arena_; }
+
+  /// The SM array executing kernels.
+  vt::CapacityResource& sm() { return sm_; }
+  /// The DMA copy engine serving cudaMemcpy-style operations.
+  vt::TimedResource& copy_engine() { return copy_engine_; }
+  /// The PCI-E link between this device and the host / switch.
+  vt::TimedResource& pcie() { return pcie_; }
+
+  void reset_timing() {
+    sm_.reset();
+    copy_engine_.reset();
+    pcie_.reset();
+  }
+
+ private:
+  int id_;
+  Arena arena_;
+  vt::CapacityResource sm_;
+  vt::TimedResource copy_engine_;
+  vt::TimedResource pcie_;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg = {}) : cfg_(cfg) {
+    if (cfg.num_devices < 1)
+      throw std::invalid_argument("Machine: need at least one device");
+    devices_.reserve(cfg.num_devices);
+    for (int d = 0; d < cfg.num_devices; ++d)
+      devices_.push_back(std::make_unique<Device>(d, cfg));
+  }
+
+  const MachineConfig& config() const { return cfg_; }
+  const CostModel& cost() const { return cfg_.cost; }
+  CostModel& mutable_cost() { return cfg_.cost; }
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  Device& device(int d) { return *devices_.at(d); }
+
+  // --- Host allocations -----------------------------------------------------
+
+  /// Page-locked host memory, optionally mapped into device space.
+  void* host_alloc(std::size_t bytes, bool mapped) {
+    auto block =
+        std::make_unique_for_overwrite<std::byte[]>(bytes == 0 ? 1 : bytes);
+    std::byte* p = block.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    host_blocks_[p] = HostBlock{std::move(block), bytes, mapped};
+    return p;
+  }
+
+  void host_free(void* p) {
+    if (p == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (host_blocks_.erase(static_cast<std::byte*>(p)) == 0)
+      throw std::invalid_argument("Machine::host_free: unknown pointer");
+  }
+
+  // --- Pointer queries --------------------------------------------------------
+
+  PtrAttributes query(const void* p) const {
+    for (const auto& dev : devices_) {
+      if (dev->arena().contains(p)) return {MemorySpace::kDevice, dev->id()};
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = host_blocks_.upper_bound(
+        const_cast<std::byte*>(static_cast<const std::byte*>(p)));
+    if (it != host_blocks_.begin()) {
+      --it;
+      const auto* base = it->first;
+      if (p >= base && p < base + it->second.size) {
+        return {it->second.mapped ? MemorySpace::kMappedHost
+                                  : MemorySpace::kPinnedHost,
+                -1};
+      }
+    }
+    return {MemorySpace::kUnregisteredHost, -1};
+  }
+
+  bool is_device_ptr(const void* p) const {
+    return query(p).space == MemorySpace::kDevice;
+  }
+
+  /// Reset all timing state (between benchmark repetitions).
+  void reset_timing() {
+    for (auto& d : devices_) d->reset_timing();
+  }
+
+ private:
+  struct HostBlock {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t size = 0;
+    bool mapped = false;
+  };
+
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  mutable std::mutex mu_;
+  std::map<std::byte*, HostBlock> host_blocks_;
+};
+
+}  // namespace gpuddt::sg

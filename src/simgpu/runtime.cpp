@@ -1,0 +1,336 @@
+#include "simgpu/runtime.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace gpuddt::sg {
+
+namespace {
+
+enum class CopyKind { kH2H, kH2D, kD2H, kD2DSame, kD2DPeer };
+
+struct ResolvedCopy {
+  CopyKind kind;
+  int src_device = -1;
+  int dst_device = -1;
+};
+
+ResolvedCopy resolve(const HostContext& ctx, const void* dst,
+                     const void* src) {
+  const PtrAttributes s = ctx.machine->query(src);
+  const PtrAttributes d = ctx.machine->query(dst);
+  const bool src_dev = s.space == MemorySpace::kDevice;
+  const bool dst_dev = d.space == MemorySpace::kDevice;
+  if (src_dev && dst_dev) {
+    if (s.device == d.device)
+      return {CopyKind::kD2DSame, s.device, d.device};
+    return {CopyKind::kD2DPeer, s.device, d.device};
+  }
+  if (src_dev) return {CopyKind::kD2H, s.device, -1};
+  if (dst_dev) return {CopyKind::kH2D, -1, d.device};
+  return {CopyKind::kH2H, -1, -1};
+}
+
+/// Reserve the timed resources for a copy whose earliest start is
+/// `earliest`; returns its virtual finish time.
+vt::Time reserve_copy(HostContext& ctx, const ResolvedCopy& rc,
+                      std::int64_t eff_bytes, vt::Time earliest,
+                      vt::Time extra_per_call) {
+  const CostModel& cm = ctx.cost();
+  switch (rc.kind) {
+    case CopyKind::kH2H: {
+      // Plain host memcpy on the calling core; no device resource.
+      return earliest + cm.cpu_copy_ns(eff_bytes) + extra_per_call;
+    }
+    case CopyKind::kH2D: {
+      const vt::Time dur =
+          cm.pcie_latency_ns + cm.h2d_ns(eff_bytes) + extra_per_call;
+      return ctx.machine->device(rc.dst_device)
+          .pcie()
+          .reserve(earliest, dur)
+          .finish;
+    }
+    case CopyKind::kD2H: {
+      const vt::Time dur =
+          cm.pcie_latency_ns + cm.d2h_ns(eff_bytes) + extra_per_call;
+      return ctx.machine->device(rc.src_device)
+          .pcie()
+          .reserve(earliest, dur)
+          .finish;
+    }
+    case CopyKind::kD2DSame: {
+      const vt::Time dur = cm.d2d_copy_ns(eff_bytes) + extra_per_call;
+      return ctx.machine->device(rc.src_device)
+          .copy_engine()
+          .reserve(earliest, dur)
+          .finish;
+    }
+    case CopyKind::kD2DPeer: {
+      const vt::Time dur =
+          cm.pcie_latency_ns + cm.peer_ns(eff_bytes) + extra_per_call;
+      // The transfer occupies both endpoints' PCI-E links.
+      const auto r1 =
+          ctx.machine->device(rc.src_device).pcie().reserve(earliest, dur);
+      const auto r2 =
+          ctx.machine->device(rc.dst_device).pcie().reserve(r1.start, dur);
+      return r2.finish;
+    }
+  }
+  return earliest;
+}
+
+}  // namespace
+
+void* Malloc(HostContext& ctx, std::size_t bytes) {
+  ctx.clock.advance(vt::usec(2.0));
+  return ctx.dev().arena().allocate(bytes);
+}
+
+void Free(HostContext& ctx, void* ptr) {
+  if (ptr == nullptr) return;
+  const PtrAttributes a = ctx.machine->query(ptr);
+  if (a.space != MemorySpace::kDevice)
+    throw std::invalid_argument("sg::Free: not a device pointer");
+  ctx.machine->device(a.device).arena().deallocate(
+      static_cast<std::byte*>(ptr));
+}
+
+void* HostAlloc(HostContext& ctx, std::size_t bytes, bool mapped) {
+  ctx.clock.advance(vt::usec(2.0));
+  return ctx.machine->host_alloc(bytes, mapped);
+}
+
+void HostFree(HostContext& ctx, void* ptr) { ctx.machine->host_free(ptr); }
+
+PtrAttributes PointerGetAttributes(const HostContext& ctx, const void* ptr) {
+  return ctx.machine->query(ptr);
+}
+
+void Memcpy(HostContext& ctx, void* dst, const void* src, std::size_t bytes) {
+  if (bytes == 0) return;
+  const ResolvedCopy rc = resolve(ctx, dst, src);
+  std::memcpy(dst, src, bytes);
+  const vt::Time overhead =
+      rc.kind == CopyKind::kH2H ? 0 : ctx.cost().memcpy_call_ns;
+  ctx.clock.advance(overhead);
+  const vt::Time finish = reserve_copy(
+      ctx, rc, static_cast<std::int64_t>(bytes), ctx.clock.now(), 0);
+  ctx.clock.wait_until(finish);
+}
+
+vt::Time MemcpyAsync(HostContext& ctx, void* dst, const void* src,
+                     std::size_t bytes, Stream& stream) {
+  if (bytes == 0) return stream.tail();
+  const ResolvedCopy rc = resolve(ctx, dst, src);
+  std::memcpy(dst, src, bytes);
+  ctx.clock.advance(ctx.cost().enqueue_ns);
+  const vt::Time earliest = stream.order_after(ctx.clock.now());
+  const vt::Time finish = reserve_copy(
+      ctx, rc, static_cast<std::int64_t>(bytes), earliest,
+      rc.kind == CopyKind::kH2H ? 0 : ctx.cost().memcpy_call_ns);
+  stream.set_tail(finish);
+  return finish;
+}
+
+namespace {
+
+/// Effective bytes per row the 2D copy engine moves: rows are transferred
+/// in `memcpy2d_granule`-sized bursts, and widths off the granule incur the
+/// read-modify-write penalty the paper's Figure 8 demonstrates.
+std::int64_t memcpy2d_effective_bytes(const CostModel& cm, std::size_t width,
+                                      std::size_t height) {
+  const std::int64_t g = cm.memcpy2d_granule;
+  std::int64_t per_row =
+      (static_cast<std::int64_t>(width) + g - 1) / g * g;
+  if (static_cast<std::int64_t>(width) % g != 0) {
+    per_row = static_cast<std::int64_t>(
+        static_cast<double>(per_row) * cm.memcpy2d_misaligned_penalty);
+  }
+  return per_row * static_cast<std::int64_t>(height);
+}
+
+void memcpy2d_functional(void* dst, std::size_t dpitch, const void* src,
+                         std::size_t spitch, std::size_t width,
+                         std::size_t height) {
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  for (std::size_t h = 0; h < height; ++h)
+    std::memcpy(d + h * dpitch, s + h * spitch, width);
+}
+
+}  // namespace
+
+void Memcpy2D(HostContext& ctx, void* dst, std::size_t dpitch, const void* src,
+              std::size_t spitch, std::size_t width, std::size_t height) {
+  if (width == 0 || height == 0) return;
+  if (width > dpitch || width > spitch)
+    throw std::invalid_argument("Memcpy2D: width exceeds pitch");
+  const ResolvedCopy rc = resolve(ctx, dst, src);
+  memcpy2d_functional(dst, dpitch, src, spitch, width, height);
+  const CostModel& cm = ctx.cost();
+  const std::int64_t eff = memcpy2d_effective_bytes(cm, width, height);
+  const vt::Time row_cost = static_cast<vt::Time>(
+      cm.memcpy2d_row_ns * static_cast<double>(height));
+  ctx.clock.advance(rc.kind == CopyKind::kH2H ? 0 : cm.memcpy_call_ns);
+  const vt::Time finish =
+      reserve_copy(ctx, rc, eff, ctx.clock.now(), row_cost);
+  ctx.clock.wait_until(finish);
+}
+
+vt::Time Memcpy2DAsync(HostContext& ctx, void* dst, std::size_t dpitch,
+                       const void* src, std::size_t spitch, std::size_t width,
+                       std::size_t height, Stream& stream) {
+  if (width == 0 || height == 0) return stream.tail();
+  if (width > dpitch || width > spitch)
+    throw std::invalid_argument("Memcpy2DAsync: width exceeds pitch");
+  const ResolvedCopy rc = resolve(ctx, dst, src);
+  memcpy2d_functional(dst, dpitch, src, spitch, width, height);
+  const CostModel& cm = ctx.cost();
+  const std::int64_t eff = memcpy2d_effective_bytes(cm, width, height);
+  const vt::Time row_cost = static_cast<vt::Time>(
+      cm.memcpy2d_row_ns * static_cast<double>(height));
+  ctx.clock.advance(cm.enqueue_ns);
+  const vt::Time earliest = stream.order_after(ctx.clock.now());
+  const vt::Time finish = reserve_copy(
+      ctx, rc, eff, earliest,
+      row_cost + (rc.kind == CopyKind::kH2H ? 0 : cm.memcpy_call_ns));
+  stream.set_tail(finish);
+  return finish;
+}
+
+void Memcpy3D(HostContext& ctx, void* dst, std::size_t dpitch,
+              std::size_t dslice, const void* src, std::size_t spitch,
+              std::size_t sslice, std::size_t width, std::size_t height,
+              std::size_t depth) {
+  if (width == 0 || height == 0 || depth == 0) return;
+  if (width > dpitch || width > spitch || height * dpitch > dslice ||
+      height * spitch > sslice)
+    throw std::invalid_argument("Memcpy3D: extents exceed pitches");
+  // One 2D copy per slice: matches the driver's behaviour for pitched 3D
+  // blocks (a 3D DMA descriptor iterating slice by slice).
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  for (std::size_t z = 0; z < depth; ++z)
+    Memcpy2D(ctx, d + z * dslice, dpitch, s + z * sslice, spitch, width,
+             height);
+}
+
+void Memset(HostContext& ctx, void* dst, int value, std::size_t bytes) {
+  if (bytes == 0) return;
+  std::memset(dst, value, bytes);
+  const PtrAttributes d = ctx.machine->query(dst);
+  if (d.space == MemorySpace::kDevice) {
+    const CostModel& cm = ctx.cost();
+    ctx.clock.advance(cm.memcpy_call_ns);
+    const vt::Time dur =
+        vt::transfer_time(static_cast<std::int64_t>(bytes), cm.gpu_mem_gbps);
+    const auto r = ctx.machine->device(d.device).copy_engine().reserve(
+        ctx.clock.now(), dur);
+    ctx.clock.wait_until(r.finish);
+  } else {
+    ctx.clock.advance(
+        ctx.cost().cpu_copy_ns(static_cast<std::int64_t>(bytes)));
+  }
+}
+
+vt::Time TimedCopy(HostContext& ctx, void* dst, const void* src,
+                   std::size_t bytes, vt::Time earliest) {
+  if (bytes == 0) return earliest;
+  const ResolvedCopy rc = resolve(ctx, dst, src);
+  std::memcpy(dst, src, bytes);
+  return reserve_copy(ctx, rc, static_cast<std::int64_t>(bytes),
+                      std::max(earliest, vt::Time{0}), 0);
+}
+
+void StreamSynchronize(HostContext& ctx, Stream& stream) {
+  ctx.clock.wait_until(stream.tail());
+}
+
+Event EventRecord(HostContext& ctx, Stream& stream) {
+  (void)ctx;
+  return Event{stream.tail()};
+}
+
+void StreamWaitEvent(HostContext& ctx, Stream& stream, const Event& ev) {
+  (void)ctx;
+  stream.set_tail(ev.timestamp);
+}
+
+void EventSynchronize(HostContext& ctx, const Event& ev) {
+  ctx.clock.wait_until(ev.timestamp);
+}
+
+namespace {
+double pcie_dir_gbps(const CostModel& cm, PcieDir dir) {
+  switch (dir) {
+    case PcieDir::kToHost:
+      return cm.pcie_d2h_gbps;
+    case PcieDir::kFromHost:
+      return cm.pcie_h2d_gbps;
+    case PcieDir::kPeer:
+      return cm.kernel_peer_gbps;
+    case PcieDir::kNone:
+      break;
+  }
+  return cm.pcie_d2h_gbps;
+}
+}  // namespace
+
+vt::Time KernelDuration(const CostModel& cm, const KernelProfile& profile,
+                        int sms_available) {
+  const int width = std::max(1, std::min(profile.blocks, sms_available));
+  const vt::Time mem_ns = static_cast<vt::Time>(
+      static_cast<double>(
+          vt::transfer_time(profile.device_txn_bytes, cm.gpu_mem_gbps)) *
+      (1.0 + cm.kernel_mem_inefficiency));
+  const vt::Time compute_ns = vt::transfer_time(
+      profile.device_txn_bytes, cm.sm_copy_gbps * static_cast<double>(width));
+  const vt::Time pcie_ns = vt::transfer_time(
+      profile.pcie_bytes, pcie_dir_gbps(cm, profile.pcie_dir));
+  return cm.kernel_launch_ns + std::max({mem_ns, compute_ns, pcie_ns});
+}
+
+vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
+                      const KernelProfile& profile,
+                      const std::function<void()>& body) {
+  body();
+  const CostModel& cm = ctx.cost();
+  ctx.clock.advance(cm.enqueue_ns);
+  Device& dev = stream.device();
+  const vt::Time earliest = stream.order_after(ctx.clock.now());
+  const int width = std::max(1, std::min(profile.blocks, dev.sm().capacity()));
+  const vt::Time dur = KernelDuration(cm, profile, dev.sm().capacity());
+  const auto r = dev.sm().reserve(earliest, dur, width);
+  if (profile.pcie_bytes > 0) {
+    // Zero-copy / peer traffic holds the PCI-E link for its share of the
+    // kernel's duration.
+    const vt::Time pcie_ns = vt::transfer_time(
+        profile.pcie_bytes, pcie_dir_gbps(cm, profile.pcie_dir));
+    dev.pcie().reserve(r.start, pcie_ns);
+  }
+  stream.set_tail(r.finish);
+  return r.finish;
+}
+
+IpcMemHandle IpcGetMemHandle(HostContext& ctx, void* device_ptr) {
+  const PtrAttributes a = ctx.machine->query(device_ptr);
+  if (a.space != MemorySpace::kDevice)
+    throw std::invalid_argument("IpcGetMemHandle: not a device pointer");
+  Arena& arena = ctx.machine->device(a.device).arena();
+  const std::size_t size = arena.allocation_size(device_ptr);
+  ctx.clock.advance(ctx.cost().ipc_get_handle_ns);
+  return IpcMemHandle{
+      a.device,
+      static_cast<std::uint64_t>(static_cast<std::byte*>(device_ptr) -
+                                 arena.base()),
+      static_cast<std::uint64_t>(size)};
+}
+
+void* IpcOpenMemHandle(HostContext& ctx, const IpcMemHandle& handle) {
+  if (handle.device < 0 || handle.device >= ctx.machine->num_devices())
+    throw std::invalid_argument("IpcOpenMemHandle: bad handle");
+  ctx.clock.advance(ctx.cost().ipc_open_ns);
+  return ctx.machine->device(handle.device).arena().base() + handle.offset;
+}
+
+}  // namespace gpuddt::sg

@@ -1,0 +1,143 @@
+// The CUDA-like runtime surface of the simulated GPU.
+//
+// All operations take a HostContext - the per-rank handle bundling the
+// shared Machine, the caller's virtual clock and its current device - and
+// mirror the CUDA runtime calls the paper's implementation uses:
+// cudaMalloc / cudaMallocHost / cudaMemcpy{2D,Async} / streams / events /
+// kernel launch / CUDA IPC. Every call both moves real bytes and advances
+// virtual time through the machine's timed resources.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "simgpu/machine.h"
+#include "simgpu/stream.h"
+
+namespace gpuddt::sg {
+
+/// Per-rank (per-thread) execution context.
+struct HostContext {
+  explicit HostContext(Machine& m, int dev = 0) : machine(&m), device(dev) {}
+
+  Machine* machine;
+  vt::VClock clock;
+  int device = 0;
+
+  Device& dev() const { return machine->device(device); }
+  const CostModel& cost() const { return machine->cost(); }
+};
+
+// --- Memory management ------------------------------------------------------
+
+/// cudaMalloc on the context's current device.
+void* Malloc(HostContext& ctx, std::size_t bytes);
+void Free(HostContext& ctx, void* ptr);
+
+/// cudaMallocHost / cudaHostAlloc(cudaHostAllocMapped).
+void* HostAlloc(HostContext& ctx, std::size_t bytes, bool mapped = false);
+void HostFree(HostContext& ctx, void* ptr);
+
+PtrAttributes PointerGetAttributes(const HostContext& ctx, const void* ptr);
+
+// --- Copies -------------------------------------------------------------------
+
+/// Synchronous cudaMemcpy (kind inferred from the pointer registry).
+void Memcpy(HostContext& ctx, void* dst, const void* src, std::size_t bytes);
+
+/// Asynchronous copy ordered in `stream`; returns the operation's virtual
+/// finish time (also recorded as the stream tail).
+vt::Time MemcpyAsync(HostContext& ctx, void* dst, const void* src,
+                     std::size_t bytes, Stream& stream);
+
+/// Synchronous cudaMemcpy2D: `height` rows of `width` bytes with the given
+/// pitches. The cost model reproduces the 64-byte-granule behaviour of the
+/// real copy engine (Figure 8).
+void Memcpy2D(HostContext& ctx, void* dst, std::size_t dpitch, const void* src,
+              std::size_t spitch, std::size_t width, std::size_t height);
+
+vt::Time Memcpy2DAsync(HostContext& ctx, void* dst, std::size_t dpitch,
+                       const void* src, std::size_t spitch, std::size_t width,
+                       std::size_t height, Stream& stream);
+
+/// Synchronous cudaMemcpy3D equivalent for pitched 3D blocks: `depth`
+/// slices of (`height` rows x `width` bytes); slices are `dslice`/`sslice`
+/// bytes apart, rows `dpitch`/`spitch` apart.
+void Memcpy3D(HostContext& ctx, void* dst, std::size_t dpitch,
+              std::size_t dslice, const void* src, std::size_t spitch,
+              std::size_t sslice, std::size_t width, std::size_t height,
+              std::size_t depth);
+
+void Memset(HostContext& ctx, void* dst, int value, std::size_t bytes);
+
+/// One-shot copy with an explicit virtual-time dependency, not bound to a
+/// stream and not blocking the host clock: the building block of the BTL
+/// RDMA engines (CUDA IPC get/put). Moves the bytes immediately, reserves
+/// the appropriate resources (copy engine, PCI-E links) no earlier than
+/// `earliest`, and returns the virtual finish time.
+vt::Time TimedCopy(HostContext& ctx, void* dst, const void* src,
+                   std::size_t bytes, vt::Time earliest);
+
+// --- Streams and events --------------------------------------------------------
+
+void StreamSynchronize(HostContext& ctx, Stream& stream);
+Event EventRecord(HostContext& ctx, Stream& stream);
+void StreamWaitEvent(HostContext& ctx, Stream& stream, const Event& ev);
+void EventSynchronize(HostContext& ctx, const Event& ev);
+
+// --- Kernels ----------------------------------------------------------------------
+
+/// Where a kernel's non-local traffic flows.
+enum class PcieDir : std::uint8_t {
+  kNone,      // both sides in local device memory
+  kToHost,    // writes land in zero-copy mapped host memory
+  kFromHost,  // reads come from zero-copy mapped host memory
+  kPeer,      // one side lives in a peer device (CUDA IPC mapping)
+};
+
+/// Work descriptor a kernel reports to the timing model. The functional
+/// body executes eagerly; the profile determines the virtual duration.
+struct KernelProfile {
+  /// Device-memory traffic in transaction-rounded bytes (reads + writes).
+  std::int64_t device_txn_bytes = 0;
+  /// Traffic crossing PCI-E (zero-copy host access or peer-device access;
+  /// 0 when both sides are local device memory).
+  std::int64_t pcie_bytes = 0;
+  PcieDir pcie_dir = PcieDir::kNone;
+  /// Total warp-rounds of work: one round = one warp copying 32 x 8 bytes.
+  std::int64_t warp_rounds = 0;
+  /// CUDA blocks the kernel is launched with; limits SM occupancy.
+  int blocks = 1;
+};
+
+/// Launch a kernel on `stream`. `body` performs the functional byte
+/// movement and runs immediately on the calling thread; the kernel's
+/// virtual interval is reserved on the device's SM array (and PCI-E link
+/// for zero-copy traffic). Returns the virtual finish time.
+vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
+                      const KernelProfile& profile,
+                      const std::function<void()>& body);
+
+/// Duration such a kernel occupies the SMs, excluding queueing (exposed
+/// for the cost-model unit tests).
+vt::Time KernelDuration(const CostModel& cm, const KernelProfile& profile,
+                        int sms_available);
+
+// --- CUDA IPC -----------------------------------------------------------------------
+
+struct IpcMemHandle {
+  int device = -1;
+  std::uint64_t offset = 0;  // from the owning arena's base
+  std::uint64_t size = 0;
+};
+
+/// cudaIpcGetMemHandle: handle for a device allocation, shareable with
+/// other ranks on the same node.
+IpcMemHandle IpcGetMemHandle(HostContext& ctx, void* device_ptr);
+
+/// cudaIpcOpenMemHandle: map a peer's allocation. Costs ipc_open_ns; the
+/// protocol layer caches handles (the "registration cache" of Section 4.1).
+void* IpcOpenMemHandle(HostContext& ctx, const IpcMemHandle& handle);
+
+}  // namespace gpuddt::sg

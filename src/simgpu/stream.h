@@ -1,0 +1,63 @@
+// Streams and events.
+//
+// A Stream is an in-order queue of device operations identified, in virtual
+// time, by the finish timestamp of its last operation (`tail`). Because the
+// functional side of every operation executes eagerly on the enqueuing
+// thread, a stream needs no real queue - only the timestamp and the device
+// it is bound to. Events capture a stream's tail so other streams or the
+// host can wait on it, exactly mirroring cudaEventRecord/cudaStreamWaitEvent.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+
+#include "vtime/vclock.h"
+
+namespace gpuddt::sg {
+
+class Device;
+
+class Stream {
+ public:
+  explicit Stream(Device* dev) : dev_(dev) {}
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  Device& device() const { return *dev_; }
+
+  /// Finish time of the last enqueued operation.
+  vt::Time tail() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tail_;
+  }
+
+  /// Serialize an operation after the current tail and any dependency:
+  /// returns the operation's earliest possible start.
+  vt::Time order_after(vt::Time dependency) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::max(tail_, dependency);
+  }
+
+  void set_tail(vt::Time t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail_ = std::max(tail_, t);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    tail_ = 0;
+  }
+
+ private:
+  Device* dev_;
+  mutable std::mutex mu_;
+  vt::Time tail_ = 0;
+};
+
+/// A recorded point in a stream's virtual timeline.
+struct Event {
+  vt::Time timestamp = 0;
+};
+
+}  // namespace gpuddt::sg

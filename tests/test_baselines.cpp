@@ -1,0 +1,195 @@
+// Tests of the baseline implementations: the vectorization algorithm, the
+// Figure 1 pack-side alternatives (correctness + cost ordering), and the
+// cost asymmetries that drive the paper's comparison figures.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baselines/alternatives.h"
+#include "baselines/vectorize.h"
+#include "core/layouts.h"
+#include "test_helpers.h"
+
+namespace gpuddt::base {
+namespace {
+
+// --- vectorize() -------------------------------------------------------------
+
+TEST(Vectorize, VectorTypeCollapsesToOneSegment) {
+  auto dt = core::submatrix_type(64, 32, 100);
+  const auto segs = vectorize(dt, 1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].blocklen, 64 * 8);
+  EXPECT_EQ(segs[0].stride, 100 * 8);
+  EXPECT_EQ(segs[0].count, 32);
+}
+
+TEST(Vectorize, ContiguousIsOneRow) {
+  auto dt = mpi::Datatype::contiguous(100, mpi::kDouble());
+  const auto segs = vectorize(dt, 1);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].count, 1);
+  EXPECT_EQ(segs[0].blocklen, 800);
+}
+
+TEST(Vectorize, TriangularDegeneratesToOneSegmentPerColumn) {
+  const std::int64_t n = 64;
+  auto dt = core::lower_triangular_type(n, n);
+  const auto segs = vectorize(dt, 1);
+  // Every column has a different length: no merging possible.
+  EXPECT_EQ(segs.size(), static_cast<std::size_t>(n));
+  for (const auto& s : segs) EXPECT_EQ(s.count, 1);
+}
+
+TEST(Vectorize, StairTriangleMergesWithinStairs) {
+  const std::int64_t n = 64, nb = 16;
+  auto dt = core::stair_triangular_type(n, n, nb);
+  const auto segs = vectorize(dt, 1);
+  // Columns within one stair share a length and a uniform stride.
+  EXPECT_EQ(segs.size(), static_cast<std::size_t>(n / nb));
+}
+
+TEST(Vectorize, TransposeMergesPerRow) {
+  const std::int64_t n = 16;
+  auto dt = core::transpose_type(n, n);
+  const auto segs = vectorize(dt, 1);
+  EXPECT_EQ(segs.size(), static_cast<std::size_t>(n));
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.blocklen, 8);
+    EXPECT_EQ(s.count, n);
+  }
+}
+
+TEST(Vectorize, SegmentsCoverEveryPackedByte) {
+  std::mt19937 rng(5150);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto dt = test::random_datatype(rng);
+    const std::int64_t count = 1 + trial % 3;
+    const auto segs = vectorize(dt, count);
+    std::int64_t covered = 0;
+    std::int64_t expected_pk = 0;
+    for (const auto& s : segs) {
+      EXPECT_EQ(s.pk_disp, expected_pk) << dt->describe();
+      covered += s.blocklen * s.count;
+      expected_pk += s.blocklen * s.count;
+    }
+    EXPECT_EQ(covered, dt->size() * count) << dt->describe();
+  }
+}
+
+TEST(Vectorize, SegmentCopySemanticsMatchCpuPack) {
+  std::mt19937 rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto dt = test::random_datatype(rng);
+    const std::int64_t count = 1 + trial % 2;
+    const std::int64_t total = dt->size() * count;
+    if (total == 0) continue;
+    const std::int64_t span = test::span_bytes(dt, count);
+    std::vector<std::byte> src(static_cast<std::size_t>(span));
+    test::fill_pattern(src.data(), src.size(), trial);
+    const std::byte* base = src.data() - dt->true_lb();
+    // Emulate the per-segment 2D copies on the host.
+    std::vector<std::byte> packed(static_cast<std::size_t>(total));
+    for (const auto& s : vectorize(dt, count)) {
+      for (std::int64_t r = 0; r < s.count; ++r) {
+        std::memcpy(packed.data() + s.pk_disp + r * s.blocklen,
+                    base + s.src_disp + r * s.stride,
+                    static_cast<std::size_t>(s.blocklen));
+      }
+    }
+    EXPECT_EQ(packed, test::reference_pack(dt, count, base))
+        << dt->describe();
+  }
+}
+
+// --- Figure 1 alternatives ----------------------------------------------------
+
+class AlternativesTest : public ::testing::Test {
+ protected:
+  sg::Machine m{test::machine_config(1, 512u << 20)};
+  sg::HostContext ctx{m, 0};
+};
+
+TEST_F(AlternativesTest, AllStrategiesProduceIdenticalBytes) {
+  auto dt = core::lower_triangular_type(96, 128);
+  const std::int64_t total = dt->size();
+  const std::int64_t span = dt->true_extent() + 64;
+  auto* dev_src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  test::fill_pattern(dev_src, static_cast<std::size_t>(span), 4);
+  auto* host_scratch = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(span), false));
+  auto* host_packed_a = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(total), false));
+  auto* host_packed_b = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(total), false));
+  auto* dev_packed_c = static_cast<std::byte*>(sg::Malloc(ctx, total));
+  auto* dev_packed_d = static_cast<std::byte*>(sg::Malloc(ctx, total));
+
+  pack_stage_whole(ctx, dt, 1, dev_src, host_scratch, host_packed_a);
+  pack_per_block_d2h(ctx, dt, 1, dev_src, host_packed_b);
+  pack_per_block_d2d(ctx, dt, 1, dev_src, dev_packed_c);
+  core::GpuDatatypeEngine eng(ctx);
+  pack_gpu_kernel(eng, dt, 1, dev_src, dev_packed_d);
+
+  const auto ref = test::reference_pack(dt, 1, dev_src);
+  EXPECT_EQ(std::memcmp(host_packed_a, ref.data(), ref.size()), 0);
+  EXPECT_EQ(std::memcmp(host_packed_b, ref.data(), ref.size()), 0);
+  EXPECT_EQ(std::memcmp(dev_packed_c, ref.data(), ref.size()), 0);
+  EXPECT_EQ(std::memcmp(dev_packed_d, ref.data(), ref.size()), 0);
+}
+
+TEST_F(AlternativesTest, GpuKernelBeatsPerBlockStrategies) {
+  auto dt = core::lower_triangular_type(512, 512);
+  const std::int64_t total = dt->size();
+  const std::int64_t span = dt->true_extent() + 64;
+  auto* dev_src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* host_packed = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(total), false));
+  auto* dev_packed = static_cast<std::byte*>(sg::Malloc(ctx, total));
+
+  const auto b = pack_per_block_d2h(ctx, dt, 1, dev_src, host_packed);
+  const auto c = pack_per_block_d2d(ctx, dt, 1, dev_src, dev_packed);
+  core::GpuDatatypeEngine eng(ctx);
+  const auto d = pack_gpu_kernel(eng, dt, 1, dev_src, dev_packed);
+
+  // 512 per-block memcpy calls at ~6us each dwarf one kernel.
+  EXPECT_GT(b.elapsed, 10 * d.elapsed);
+  EXPECT_GT(c.elapsed, 10 * d.elapsed);
+}
+
+TEST_F(AlternativesTest, StageWholeWastesBandwidthOnGaps) {
+  // Triangular matrix: half the extent is gaps, so strategy (a) moves
+  // ~2x the payload over PCI-E plus a CPU pack.
+  auto dt = core::lower_triangular_type(1024, 1024);
+  const std::int64_t total = dt->size();
+  const std::int64_t span = dt->true_extent() + 64;
+  auto* dev_src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* host_scratch = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(span), false));
+  auto* host_packed = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(total), false));
+
+  const auto a =
+      pack_stage_whole(ctx, dt, 1, dev_src, host_scratch, host_packed);
+  // Must at least pay extent/pcie + size/cpu.
+  const auto& cm = ctx.cost();
+  EXPECT_GT(a.elapsed,
+            cm.d2h_ns(dt->true_extent()) + cm.cpu_copy_ns(total));
+}
+
+TEST_F(AlternativesTest, PerBlockD2DBeatsD2HPerBlock) {
+  // Same call count, but D2D copies avoid the PCI-E latency per call.
+  auto dt = core::lower_triangular_type(256, 256);
+  const std::int64_t total = dt->size();
+  auto* dev_src =
+      static_cast<std::byte*>(sg::Malloc(ctx, dt->true_extent() + 64));
+  auto* host_packed = static_cast<std::byte*>(
+      sg::HostAlloc(ctx, static_cast<std::size_t>(total), false));
+  auto* dev_packed = static_cast<std::byte*>(sg::Malloc(ctx, total));
+  const auto b = pack_per_block_d2h(ctx, dt, 1, dev_src, host_packed);
+  const auto c = pack_per_block_d2d(ctx, dt, 1, dev_src, dev_packed);
+  EXPECT_LT(c.elapsed, b.elapsed);
+}
+
+}  // namespace
+}  // namespace gpuddt::base

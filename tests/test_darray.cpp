@@ -1,0 +1,217 @@
+// MPI_Type_create_darray: the HPF/ScaLAPACK distributed-array layout.
+// Verified structurally (sizes, extents) and semantically: the union of
+// all processes' darray types must tile the global array exactly once,
+// and block-cyclic layouts must match a hand-computed owner function.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/cpu_pack.h"
+#include "mpi/cursor.h"
+#include "mpi/datatype.h"
+#include "test_helpers.h"
+
+namespace gpuddt::mpi {
+namespace {
+
+using Distrib = Datatype::Distrib;
+
+/// Owner of global element (i in dim d) under a distribution.
+std::int64_t owner_1d(std::int64_t i, Distrib d, std::int64_t darg,
+                      std::int64_t gsize, std::int64_t psize) {
+  switch (d) {
+    case Distrib::kNone:
+      return 0;
+    case Distrib::kBlock: {
+      const std::int64_t b =
+          darg == Datatype::kDefaultDarg ? (gsize + psize - 1) / psize : darg;
+      return i / b;
+    }
+    case Distrib::kCyclic: {
+      const std::int64_t b = darg == Datatype::kDefaultDarg ? 1 : darg;
+      return (i / b) % psize;
+    }
+  }
+  return 0;
+}
+
+struct Spec1D {
+  std::int64_t gsize;
+  Distrib distrib;
+  std::int64_t darg;
+  std::int64_t psize;
+};
+
+/// Check that the world's types tile [0, prod(gsizes)) exactly once and
+/// match the owner function.
+void check_tiling(const std::vector<Spec1D>& dims, Datatype::Order order) {
+  std::vector<std::int64_t> gsizes, dargs, psizes;
+  std::vector<Distrib> distribs;
+  int world = 1;
+  for (const auto& d : dims) {
+    gsizes.push_back(d.gsize);
+    distribs.push_back(d.distrib);
+    dargs.push_back(d.darg);
+    psizes.push_back(d.psize);
+    world *= static_cast<int>(d.psize);
+  }
+  std::int64_t total = 1;
+  for (auto g : gsizes) total *= g;
+
+  std::vector<int> covered(static_cast<std::size_t>(total), -1);
+  std::int64_t covered_count = 0;
+  for (int rank = 0; rank < world; ++rank) {
+    auto dt = Datatype::darray(world, rank, gsizes, distribs, dargs, psizes,
+                               kDouble(), order);
+    EXPECT_EQ(dt->extent(), total * 8) << "rank " << rank;
+    BlockCursor cur(dt, 1);
+    Block b;
+    while (cur.next(&b)) {
+      ASSERT_EQ(b.offset % 8, 0);
+      ASSERT_EQ(b.len % 8, 0);
+      for (std::int64_t e = b.offset / 8; e < (b.offset + b.len) / 8; ++e) {
+        ASSERT_GE(e, 0);
+        ASSERT_LT(e, total);
+        EXPECT_EQ(covered[static_cast<std::size_t>(e)], -1)
+            << "element " << e << " claimed twice (ranks "
+            << covered[static_cast<std::size_t>(e)] << " and " << rank << ")";
+        covered[static_cast<std::size_t>(e)] = rank;
+        ++covered_count;
+      }
+    }
+  }
+  EXPECT_EQ(covered_count, total) << "tiling incomplete";
+
+  // Cross-check the owner function.
+  std::vector<std::int64_t> coord(dims.size());
+  for (std::int64_t e = 0; e < total; ++e) {
+    // Decompose the linear element index into per-dimension indices.
+    std::int64_t rem = e / 8 * 8;  // silence none
+    (void)rem;
+    std::vector<std::int64_t> gidx(dims.size());
+    std::int64_t x = e;
+    if (order == Datatype::Order::kFortran) {
+      for (std::size_t d = 0; d < dims.size(); ++d) {
+        gidx[d] = x % gsizes[d];
+        x /= gsizes[d];
+      }
+    } else {
+      for (std::size_t d = dims.size(); d-- > 0;) {
+        gidx[d] = x % gsizes[d];
+        x /= gsizes[d];
+      }
+    }
+    // Expected rank: C-order composition of per-dimension owners.
+    std::int64_t expect = 0;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      expect = expect * psizes[d] +
+               owner_1d(gidx[d], distribs[d], dargs[d], gsizes[d], psizes[d]);
+    }
+    EXPECT_EQ(covered[static_cast<std::size_t>(e)], expect)
+        << "element " << e;
+  }
+}
+
+TEST(Darray, Block1D) {
+  check_tiling({{100, Distrib::kBlock, Datatype::kDefaultDarg, 4}},
+               Datatype::Order::kFortran);
+}
+
+TEST(Darray, Block1DUnevenTail) {
+  // 10 elements over 4 procs with block 3: last proc gets only 1.
+  check_tiling({{10, Distrib::kBlock, 3, 4}}, Datatype::Order::kFortran);
+}
+
+TEST(Darray, Cyclic1DUnit) {
+  check_tiling({{17, Distrib::kCyclic, Datatype::kDefaultDarg, 3}},
+               Datatype::Order::kFortran);
+}
+
+TEST(Darray, BlockCyclic1D) {
+  check_tiling({{100, Distrib::kCyclic, 8, 3}}, Datatype::Order::kFortran);
+}
+
+TEST(Darray, BlockCyclic1DPartialTail) {
+  // 50 = 6 blocks of 8 + tail of 2; tail lands on proc 6%4=2... exercise.
+  check_tiling({{50, Distrib::kCyclic, 8, 4}}, Datatype::Order::kFortran);
+}
+
+TEST(Darray, BlockCyclic2DScalapack) {
+  // The classic ScaLAPACK 2D block-cyclic layout: 2x3 grid, 64-blocks.
+  check_tiling({{100, Distrib::kCyclic, 16, 2}, {90, Distrib::kCyclic, 16, 3}},
+               Datatype::Order::kFortran);
+}
+
+TEST(Darray, MixedBlockAndNone) {
+  check_tiling({{40, Distrib::kBlock, Datatype::kDefaultDarg, 4},
+                {7, Distrib::kNone, Datatype::kDefaultDarg, 1}},
+               Datatype::Order::kFortran);
+}
+
+TEST(Darray, COrder2D) {
+  check_tiling({{12, Distrib::kCyclic, 2, 2}, {18, Distrib::kBlock, 9, 2}},
+               Datatype::Order::kC);
+}
+
+TEST(Darray, ThreeDimensions) {
+  check_tiling({{8, Distrib::kBlock, Datatype::kDefaultDarg, 2},
+                {9, Distrib::kCyclic, 2, 3},
+                {4, Distrib::kNone, Datatype::kDefaultDarg, 1}},
+               Datatype::Order::kFortran);
+}
+
+TEST(Darray, SizesSumAcrossRanks) {
+  const std::int64_t gs[] = {64, 48};
+  const Distrib ds[] = {Distrib::kCyclic, Distrib::kCyclic};
+  const std::int64_t da[] = {8, 8};
+  const std::int64_t ps[] = {2, 2};
+  std::int64_t sum = 0;
+  for (int r = 0; r < 4; ++r) {
+    auto dt = Datatype::darray(4, r, gs, ds, da, ps, kDouble(),
+                               Datatype::Order::kFortran);
+    sum += dt->size();
+  }
+  EXPECT_EQ(sum, 64 * 48 * 8);
+}
+
+TEST(Darray, GridMismatchThrows) {
+  const std::int64_t gs[] = {10};
+  const Distrib ds[] = {Distrib::kBlock};
+  const std::int64_t da[] = {Datatype::kDefaultDarg};
+  const std::int64_t ps[] = {3};
+  EXPECT_THROW(
+      Datatype::darray(4, 0, gs, ds, da, ps, kDouble()),
+      std::invalid_argument);
+}
+
+TEST(Darray, NoneRequiresSingleProcDim) {
+  const std::int64_t gs[] = {10, 10};
+  const Distrib ds[] = {Distrib::kNone, Distrib::kBlock};
+  const std::int64_t da[] = {Datatype::kDefaultDarg, Datatype::kDefaultDarg};
+  const std::int64_t ps[] = {2, 2};
+  EXPECT_THROW(
+      Datatype::darray(4, 0, gs, ds, da, ps, kDouble()),
+      std::invalid_argument);
+}
+
+TEST(Darray, PackUnpackRoundTrip) {
+  const std::int64_t gs[] = {40, 30};
+  const Distrib ds[] = {Distrib::kCyclic, Distrib::kCyclic};
+  const std::int64_t da[] = {4, 8};
+  const std::int64_t ps[] = {2, 2};
+  for (int r = 0; r < 4; ++r) {
+    auto dt = Datatype::darray(4, r, gs, ds, da, ps, kDouble(),
+                               Datatype::Order::kFortran);
+    std::vector<std::byte> src(static_cast<std::size_t>(dt->extent()));
+    std::vector<std::byte> dst(src.size(), std::byte{0});
+    test::fill_pattern(src.data(), src.size(), r);
+    auto packed = test::reference_pack(dt, 1, src.data());
+    EXPECT_EQ(static_cast<std::int64_t>(packed.size()), dt->size());
+    cpu_unpack(dt, 1, packed, dst.data());
+    EXPECT_EQ(test::reference_pack(dt, 1, dst.data()), packed);
+  }
+}
+
+}  // namespace
+}  // namespace gpuddt::mpi

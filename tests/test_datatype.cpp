@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include "core/layouts.h"
+#include "mpi/datatype.h"
+#include "test_helpers.h"
+
+namespace gpuddt::mpi {
+namespace {
+
+TEST(Primitive, SizesMatchC) {
+  EXPECT_EQ(kDouble()->size(), 8);
+  EXPECT_EQ(kFloat()->size(), 4);
+  EXPECT_EQ(kInt32()->size(), 4);
+  EXPECT_EQ(kInt64()->size(), 8);
+  EXPECT_EQ(kByte()->size(), 1);
+  EXPECT_EQ(kChar()->size(), 1);
+}
+
+TEST(Primitive, IsDenseAndContiguous) {
+  EXPECT_TRUE(kDouble()->is_dense());
+  EXPECT_TRUE(kDouble()->is_contiguous(10));
+  EXPECT_EQ(kDouble()->extent(), 8);
+  EXPECT_EQ(kDouble()->blocks_per_element(), 1);
+}
+
+TEST(Contiguous, CollapsesToSingleBlock) {
+  auto t = Datatype::contiguous(10, kDouble());
+  EXPECT_EQ(t->size(), 80);
+  EXPECT_EQ(t->extent(), 80);
+  EXPECT_TRUE(t->is_dense());
+  EXPECT_EQ(t->blocks_per_element(), 1);
+  EXPECT_EQ(t->program().size(), 1u);
+}
+
+TEST(Contiguous, OfContiguousStaysDense) {
+  auto t = Datatype::contiguous(4, Datatype::contiguous(3, kInt32()));
+  EXPECT_EQ(t->size(), 48);
+  EXPECT_TRUE(t->is_dense());
+}
+
+TEST(Contiguous, ZeroCountIsEmpty) {
+  auto t = Datatype::contiguous(0, kDouble());
+  EXPECT_EQ(t->size(), 0);
+  EXPECT_EQ(t->extent(), 0);
+}
+
+TEST(Contiguous, NegativeCountThrows) {
+  EXPECT_THROW(Datatype::contiguous(-1, kDouble()), std::invalid_argument);
+}
+
+TEST(Vector, BasicGeometry) {
+  // 4 blocks of 2 doubles, stride 5 doubles.
+  auto t = Datatype::vector(4, 2, 5, kDouble());
+  EXPECT_EQ(t->size(), 4 * 2 * 8);
+  EXPECT_EQ(t->extent(), (3 * 5 + 2) * 8);  // last block end
+  EXPECT_FALSE(t->is_dense());
+  EXPECT_EQ(t->blocks_per_element(), 4);
+}
+
+TEST(Vector, StrideEqualBlocklenIsContiguous) {
+  auto t = Datatype::vector(4, 3, 3, kDouble());
+  EXPECT_TRUE(t->is_dense());
+  EXPECT_EQ(t->size(), 96);
+  EXPECT_EQ(t->program().size(), 1u);
+}
+
+TEST(Vector, HvectorUsesByteStride) {
+  auto t = Datatype::hvector(3, 1, 100, kDouble());
+  EXPECT_EQ(t->size(), 24);
+  EXPECT_EQ(t->extent(), 2 * 100 + 8);
+}
+
+TEST(Vector, NegativeStrideGivesNegativeLb) {
+  auto t = Datatype::hvector(3, 1, -16, kDouble());
+  EXPECT_EQ(t->size(), 24);
+  EXPECT_EQ(t->true_lb(), -32);
+  EXPECT_EQ(t->extent(), 40);
+}
+
+TEST(Indexed, TriangularGeometry) {
+  auto t = core::lower_triangular_type(8, 8);
+  EXPECT_EQ(t->size(), core::lower_triangle_elems(8) * 8);
+  EXPECT_EQ(t->blocks_per_element(), 8);
+  EXPECT_FALSE(t->is_dense());
+  EXPECT_FALSE(t->regular_pattern(1).has_value());
+}
+
+TEST(Indexed, AdjacentBlocksMerge) {
+  const std::int64_t lens[] = {2, 3};
+  const std::int64_t displs[] = {0, 2};
+  auto t = Datatype::indexed(lens, displs, kDouble());
+  EXPECT_TRUE(t->is_dense());
+  EXPECT_EQ(t->size(), 40);
+  EXPECT_EQ(t->blocks_per_element(), 1);
+}
+
+TEST(Indexed, MismatchedArgumentsThrow) {
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t displs[] = {0};
+  EXPECT_THROW(Datatype::indexed(lens, std::span<const std::int64_t>(displs),
+                                 kDouble()),
+               std::invalid_argument);
+}
+
+TEST(IndexedBlock, EqualBlocksShareLength) {
+  const std::int64_t displs[] = {0, 4, 8};
+  auto t = Datatype::indexed_block(2, displs, kInt32());
+  EXPECT_EQ(t->size(), 3 * 2 * 4);
+  EXPECT_EQ(t->blocks_per_element(), 3);
+}
+
+TEST(Struct, MixedPrimitives) {
+  // {int32 a; double b[2];} with natural alignment padding.
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t displs[] = {0, 8};
+  const DatatypePtr types[] = {kInt32(), kDouble()};
+  auto t = Datatype::struct_type(lens, displs, types);
+  EXPECT_EQ(t->size(), 4 + 16);
+  EXPECT_EQ(t->true_extent(), 24);
+  EXPECT_EQ(t->blocks_per_element(), 2);
+  EXPECT_EQ(t->signature().runs.size(), 2u);
+}
+
+TEST(Subarray, FortranOrder2D) {
+  // 4x3 sub-block at (2,1) of a 10x8 Fortran-order double array.
+  const std::int64_t sizes[] = {10, 8};
+  const std::int64_t subsizes[] = {4, 3};
+  const std::int64_t starts[] = {2, 1};
+  auto t = Datatype::subarray(sizes, subsizes, starts, kDouble(),
+                              Datatype::Order::kFortran);
+  EXPECT_EQ(t->size(), 12 * 8);
+  EXPECT_EQ(t->extent(), 80 * 8);  // full array
+  EXPECT_EQ(t->lb(), 0);
+  EXPECT_EQ(t->blocks_per_element(), 3);  // one block per column
+  // First element at column 1, row 2.
+  EXPECT_EQ(t->true_lb(), (1 * 10 + 2) * 8);
+}
+
+TEST(Subarray, COrder2D) {
+  const std::int64_t sizes[] = {6, 10};
+  const std::int64_t subsizes[] = {2, 4};
+  const std::int64_t starts[] = {1, 3};
+  auto t = Datatype::subarray(sizes, subsizes, starts, kDouble(),
+                              Datatype::Order::kC);
+  EXPECT_EQ(t->size(), 8 * 8);
+  EXPECT_EQ(t->extent(), 60 * 8);
+  EXPECT_EQ(t->true_lb(), (1 * 10 + 3) * 8);
+  EXPECT_EQ(t->blocks_per_element(), 2);  // one run per row
+}
+
+TEST(Subarray, FullArrayIsContiguousData) {
+  const std::int64_t sizes[] = {4, 4};
+  const std::int64_t subsizes[] = {4, 4};
+  const std::int64_t starts[] = {0, 0};
+  auto t = Datatype::subarray(sizes, subsizes, starts, kDouble(),
+                              Datatype::Order::kFortran);
+  EXPECT_EQ(t->size(), t->extent());
+  EXPECT_TRUE(t->is_contiguous(1));
+}
+
+TEST(Subarray, OutOfBoundsThrows) {
+  const std::int64_t sizes[] = {4};
+  const std::int64_t subsizes[] = {3};
+  const std::int64_t starts[] = {2};
+  EXPECT_THROW(Datatype::subarray(sizes, subsizes, starts, kDouble()),
+               std::invalid_argument);
+}
+
+TEST(Resized, OverridesExtentOnly) {
+  auto v = Datatype::vector(2, 1, 4, kDouble());
+  auto r = Datatype::resized(v, 0, 64);
+  EXPECT_EQ(r->size(), v->size());
+  EXPECT_EQ(r->extent(), 64);
+  EXPECT_EQ(r->true_extent(), v->true_extent());
+}
+
+TEST(Resized, NegativeLb) {
+  auto r = Datatype::resized(kDouble(), -8, 24);
+  EXPECT_EQ(r->lb(), -8);
+  EXPECT_EQ(r->ub(), 16);
+  EXPECT_EQ(r->size(), 8);
+}
+
+// --- Contiguity queries -------------------------------------------------------------
+
+TEST(Contiguity, DenseTypeContiguousForAnyCount) {
+  auto t = Datatype::contiguous(3, kDouble());
+  EXPECT_TRUE(t->is_contiguous(1));
+  EXPECT_TRUE(t->is_contiguous(100));
+}
+
+TEST(Contiguity, GappedExtentContiguousOnlyForCountOne) {
+  // Dense 24 bytes of data but extent 32: elements don't abut.
+  auto r = Datatype::resized(Datatype::contiguous(3, kDouble()), 0, 32);
+  EXPECT_TRUE(r->is_contiguous(1));
+  EXPECT_FALSE(r->is_contiguous(2));
+}
+
+TEST(Contiguity, VectorIsNotContiguous) {
+  EXPECT_FALSE(Datatype::vector(2, 1, 4, kDouble())->is_contiguous(1));
+}
+
+// --- Regular pattern (vector fast path) ------------------------------------------------
+
+TEST(RegularPattern, VectorMapsDirectly) {
+  auto t = Datatype::vector(4, 2, 5, kDouble());
+  auto p = t->regular_pattern(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->blocklen, 16);
+  EXPECT_EQ(p->stride, 40);
+  EXPECT_EQ(p->count, 4);
+  EXPECT_EQ(p->first_disp, 0);
+}
+
+TEST(RegularPattern, MultiCountVectorNeedsMatchingExtent) {
+  auto t = Datatype::vector(4, 2, 5, kDouble());
+  // extent (17 doubles) != count*stride (20 doubles): not uniform.
+  EXPECT_FALSE(t->regular_pattern(3).has_value());
+  // Resized to stride-multiple extent: uniform across elements.
+  auto r = Datatype::resized(t, 0, 4 * 5 * 8);
+  auto p = r->regular_pattern(3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->count, 12);
+}
+
+TEST(RegularPattern, DenseBlockBecomesSingleRun) {
+  auto t = Datatype::contiguous(8, kDouble());
+  auto p = t->regular_pattern(5);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->count, 1);
+  EXPECT_EQ(p->blocklen, 5 * 64);
+}
+
+TEST(RegularPattern, CountedPrimitiveWithGapIsStrided) {
+  auto r = Datatype::resized(kDouble(), 0, 16);
+  auto p = r->regular_pattern(6);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->count, 6);
+  EXPECT_EQ(p->blocklen, 8);
+  EXPECT_EQ(p->stride, 16);
+}
+
+TEST(RegularPattern, TriangularHasNone) {
+  EXPECT_FALSE(
+      core::lower_triangular_type(16, 16)->regular_pattern(1).has_value());
+}
+
+// --- Signatures -----------------------------------------------------------------------
+
+TEST(Signature, FlattenedFormsMatch) {
+  auto vec = Datatype::vector(4, 2, 5, kDouble());
+  auto cont = Datatype::contiguous(8, kDouble());
+  EXPECT_EQ(vec->signature(), cont->signature());
+  EXPECT_EQ(vec->signature().hash(), cont->signature().hash());
+}
+
+TEST(Signature, DifferentPrimitivesDiffer) {
+  auto a = Datatype::contiguous(2, kDouble());
+  auto b = Datatype::contiguous(4, kFloat());  // same byte count
+  EXPECT_NE(a->signature(), b->signature());
+}
+
+TEST(Signature, TriangularMatchesContiguousOfSameElems) {
+  auto t = core::lower_triangular_type(32, 32);
+  auto c = Datatype::contiguous(core::lower_triangle_elems(32), kDouble());
+  EXPECT_EQ(t->signature().hash(), c->signature().hash());
+}
+
+TEST(Signature, StructOrderMatters) {
+  const std::int64_t lens[] = {1, 1};
+  const std::int64_t displs[] = {0, 8};
+  const DatatypePtr t1[] = {kInt32(), kDouble()};
+  const DatatypePtr t2[] = {kDouble(), kInt32()};
+  auto a = Datatype::struct_type(lens, displs, t1);
+  auto b = Datatype::struct_type(lens, displs, t2);
+  EXPECT_NE(a->signature(), b->signature());
+}
+
+TEST(Signature, TotalPrimitivesCounts) {
+  auto t = core::lower_triangular_type(10, 10);
+  EXPECT_EQ(t->signature().total_primitives, core::lower_triangle_elems(10));
+}
+
+TEST(TypeId, UniquePerInstance) {
+  auto a = Datatype::contiguous(2, kDouble());
+  auto b = Datatype::contiguous(2, kDouble());
+  EXPECT_NE(a->type_id(), b->type_id());
+}
+
+TEST(Describe, MentionsGeometry) {
+  auto t = Datatype::vector(4, 2, 5, kDouble());
+  const std::string d = t->describe();
+  EXPECT_NE(d.find("size=64"), std::string::npos);
+  EXPECT_NE(d.find("loop"), std::string::npos);
+}
+
+// --- Layout builders ------------------------------------------------------------------
+
+TEST(Layouts, SubmatrixSizes) {
+  auto t = core::submatrix_type(100, 50, 128);
+  EXPECT_EQ(t->size(), 100 * 50 * 8);
+  EXPECT_EQ(t->blocks_per_element(), 50);
+}
+
+TEST(Layouts, StairCoversAtLeastTriangle) {
+  const std::int64_t n = 64, nb = 16;
+  EXPECT_GE(core::stair_triangle_elems(n, nb), core::lower_triangle_elems(n));
+  auto t = core::stair_triangular_type(n, n, nb);
+  EXPECT_EQ(t->size(), core::stair_triangle_elems(n, nb) * 8);
+}
+
+TEST(Layouts, StairWithNbOneIsTriangle) {
+  EXPECT_EQ(core::stair_triangle_elems(20, 1),
+            core::lower_triangle_elems(20));
+}
+
+TEST(Layouts, TransposeTypeSize) {
+  auto t = core::transpose_type(16, 16);
+  EXPECT_EQ(t->size(), 16 * 16 * 8);
+  EXPECT_EQ(t->blocks_per_element(), 256);  // every element its own block
+}
+
+TEST(Layouts, UpperTriangularSize) {
+  auto t = core::upper_triangular_type(10, 12);
+  EXPECT_EQ(t->size(), core::lower_triangle_elems(10) * 8);
+}
+
+}  // namespace
+}  // namespace gpuddt::mpi
+
+namespace gpuddt::mpi {
+namespace {
+
+// --- Envelope / contents introspection ----------------------------------------
+
+TEST(Contents, PrimitiveIsNamed) {
+  EXPECT_EQ(kDouble()->combiner(), Combiner::kNamed);
+  EXPECT_EQ(kDouble()->describe_tree(), "double");
+}
+
+TEST(Contents, VectorRecipeRoundTrips) {
+  auto t = Datatype::vector(4, 2, 5, kDouble());
+  const TypeContents& tc = t->contents();
+  EXPECT_EQ(tc.combiner, Combiner::kVector);
+  ASSERT_EQ(tc.integers.size(), 3u);
+  EXPECT_EQ(tc.integers[0], 4);
+  EXPECT_EQ(tc.integers[1], 2);
+  EXPECT_EQ(tc.integers[2], 5);
+  ASSERT_EQ(tc.types.size(), 1u);
+  // Rebuild from the recipe: identical layout.
+  auto rebuilt = Datatype::vector(tc.integers[0], tc.integers[1],
+                                  tc.integers[2], tc.types[0]);
+  EXPECT_EQ(rebuilt->size(), t->size());
+  EXPECT_EQ(rebuilt->extent(), t->extent());
+  EXPECT_EQ(rebuilt->signature(), t->signature());
+}
+
+TEST(Contents, HindexedKeepsDisplacements) {
+  const std::int64_t lens[] = {2, 1};
+  const std::int64_t displs[] = {0, 48};
+  auto t = Datatype::hindexed(lens, displs, kDouble());
+  const TypeContents& tc = t->contents();
+  EXPECT_EQ(tc.combiner, Combiner::kHindexed);
+  EXPECT_EQ(tc.integers[0], 2);     // count
+  EXPECT_EQ(tc.integers[1], 2);     // blocklens...
+  EXPECT_EQ(tc.integers[2], 1);
+  EXPECT_EQ(tc.addresses[0], 0);    // byte displacements
+  EXPECT_EQ(tc.addresses[1], 48);
+}
+
+TEST(Contents, StructKeepsFieldTypes) {
+  const std::int64_t lens[] = {1, 2};
+  const std::int64_t displs[] = {0, 8};
+  const DatatypePtr types[] = {kInt32(), kDouble()};
+  auto t = Datatype::struct_type(lens, displs, types);
+  const TypeContents& tc = t->contents();
+  EXPECT_EQ(tc.combiner, Combiner::kStruct);
+  ASSERT_EQ(tc.types.size(), 2u);
+  EXPECT_EQ(tc.types[0]->combiner(), Combiner::kNamed);
+  EXPECT_NE(t->describe_tree().find("struct(2 fields"), std::string::npos);
+}
+
+TEST(Contents, NestedTreeDescription) {
+  auto inner = Datatype::vector(3, 1, 2, kFloat());
+  auto outer = Datatype::contiguous(4, inner);
+  EXPECT_EQ(outer->describe_tree(), "contiguous(4, vector(3, 1, 2, float))");
+}
+
+TEST(Contents, ResizedKeepsBounds) {
+  auto t = Datatype::resized(kDouble(), -8, 32);
+  EXPECT_EQ(t->combiner(), Combiner::kResized);
+  EXPECT_EQ(t->contents().addresses[0], -8);
+  EXPECT_EQ(t->contents().addresses[1], 32);
+}
+
+TEST(Contents, DarrayRecordsGrid) {
+  const std::int64_t gs[] = {16, 16};
+  const Datatype::Distrib ds[] = {Datatype::Distrib::kCyclic,
+                                  Datatype::Distrib::kCyclic};
+  const std::int64_t da[] = {4, 4};
+  const std::int64_t ps[] = {2, 2};
+  auto t = Datatype::darray(4, 3, gs, ds, da, ps, kDouble(),
+                            Datatype::Order::kFortran);
+  EXPECT_EQ(t->combiner(), Combiner::kDarray);
+  EXPECT_EQ(t->contents().integers[0], 4);  // world
+  EXPECT_EQ(t->contents().integers[1], 3);  // rank
+  EXPECT_NE(t->describe_tree().find("darray(rank 3/4"), std::string::npos);
+}
+
+TEST(Contents, SubarrayRecordsDims) {
+  const std::int64_t sizes[] = {10, 8};
+  const std::int64_t subsizes[] = {4, 3};
+  const std::int64_t starts[] = {2, 1};
+  auto t = Datatype::subarray(sizes, subsizes, starts, kDouble(),
+                              Datatype::Order::kFortran);
+  EXPECT_EQ(t->combiner(), Combiner::kSubarray);
+  const auto& ints = t->contents().integers;
+  EXPECT_EQ(ints[0], 2);            // ndims
+  EXPECT_EQ(ints[1], 10);           // sizes
+  EXPECT_EQ(ints[3], 4);            // subsizes
+  EXPECT_EQ(ints[5], 2);            // starts
+  EXPECT_EQ(ints.back(), 1);        // Fortran order
+}
+
+}  // namespace
+}  // namespace gpuddt::mpi

@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "core/dev.h"
+#include "core/dev_cache.h"
+#include "core/engine.h"
+#include "core/kernels.h"
+#include "core/layouts.h"
+#include "test_helpers.h"
+
+namespace gpuddt::core {
+namespace {
+
+using Dir = GpuDatatypeEngine::Dir;
+
+// --- DevCursor --------------------------------------------------------------------
+
+TEST(DevCursor, SplitsLargeBlocksAtUnitSize) {
+  auto t = mpi::Datatype::contiguous(512, mpi::kDouble());  // 4096 B
+  auto units = convert_all(t, 1, 1024);
+  ASSERT_EQ(units.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(units[i].length, 1024);
+    EXPECT_EQ(units[i].nc_disp, static_cast<std::int64_t>(i) * 1024);
+    EXPECT_EQ(units[i].pk_disp, static_cast<std::int64_t>(i) * 1024);
+  }
+}
+
+TEST(DevCursor, ResidueUnitsKeepRemainder) {
+  auto t = mpi::Datatype::contiguous(300, mpi::kDouble());  // 2400 B
+  auto units = convert_all(t, 1, 1024);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[2].length, 2400 - 2048);
+}
+
+TEST(DevCursor, PackedDisplacementsAreDense) {
+  auto t = core::lower_triangular_type(32, 32);
+  auto units = convert_all(t, 1, 1024);
+  std::int64_t pk = 0;
+  for (const auto& u : units) {
+    EXPECT_EQ(u.pk_disp, pk);
+    pk += u.length;
+  }
+  EXPECT_EQ(pk, t->size());
+}
+
+TEST(DevCursor, RejectsSubMinimumUnit) {
+  EXPECT_THROW(DevCursor(mpi::kDouble(), 1, 128), std::invalid_argument);
+}
+
+TEST(DevCursor, IncrementalMatchesOneShot) {
+  auto t = core::lower_triangular_type(40, 48);
+  auto whole = convert_all(t, 1, 512);
+  DevCursor cur(t, 1, 512);
+  std::vector<CudaDevDist> inc;
+  CudaDevDist buf[7];
+  for (;;) {
+    const std::size_t n = cur.next_units(buf);
+    if (n == 0) break;
+    inc.insert(inc.end(), buf, buf + n);
+  }
+  ASSERT_EQ(inc.size(), whole.size());
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    EXPECT_EQ(inc[i].nc_disp, whole[i].nc_disp);
+    EXPECT_EQ(inc[i].pk_disp, whole[i].pk_disp);
+    EXPECT_EQ(inc[i].length, whole[i].length);
+  }
+}
+
+// --- DevCache ---------------------------------------------------------------------
+
+TEST(DevCache, MissThenHit) {
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  DevCache cache;
+  auto t = core::lower_triangular_type(16, 16);
+  EXPECT_EQ(cache.find(t, 1, 1024), nullptr);
+  cache.insert(ctx, t, 1, 1024, convert_all(t, 1, 1024));
+  const auto* e = cache.find(t, 1, 1024);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->total_bytes, t->size());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(DevCache, KeyIncludesCountAndUnitSize) {
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  DevCache cache;
+  auto t = core::lower_triangular_type(16, 16);
+  cache.insert(ctx, t, 1, 1024, convert_all(t, 1, 1024));
+  EXPECT_EQ(cache.find(t, 2, 1024), nullptr);
+  EXPECT_EQ(cache.find(t, 1, 2048), nullptr);
+}
+
+TEST(DevCache, DeviceCopyUploadedOncePerDevice) {
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  DevCache cache;
+  auto t = core::lower_triangular_type(16, 16);
+  const auto* e = cache.insert(ctx, t, 1, 1024, convert_all(t, 1, 1024));
+  const auto* d1 = cache.device_units(ctx, *e);
+  const vt::Time after_first = ctx.clock.now();
+  const auto* d2 = cache.device_units(ctx, *e);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(ctx.clock.now(), after_first);  // second call free
+  EXPECT_TRUE(m.device(0).arena().contains(d1));
+}
+
+TEST(DevCache, EvictsLeastRecentlyUsed) {
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  DevCache cache(2);
+  auto a = core::lower_triangular_type(8, 8);
+  auto b = core::lower_triangular_type(9, 9);
+  auto c = core::lower_triangular_type(10, 10);
+  cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));
+  EXPECT_NE(cache.find(a, 1, 1024), nullptr);  // touch a
+  cache.insert(ctx, c, 1, 1024, convert_all(c, 1, 1024));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(b, 1, 1024), nullptr);  // b was the LRU victim
+  EXPECT_NE(cache.find(a, 1, 1024), nullptr);
+}
+
+// --- Kernels: functional + profile shape -----------------------------------------------
+
+class KernelTest : public ::testing::Test {
+ protected:
+  sg::Machine m{test::machine_config(2)};
+  sg::HostContext ctx{m, 0};
+  sg::Stream stream{&m.device(0)};
+};
+
+TEST_F(KernelTest, VectorPackGathersCorrectBytes) {
+  const std::int64_t rows = 16, cols = 8, ld = 32;
+  auto dt = core::submatrix_type(rows, cols, ld);
+  const std::int64_t span = ld * cols * 8;
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* dst = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  test::fill_pattern(src, static_cast<std::size_t>(span), 5);
+  const auto pat = *dt->regular_pattern(1);
+  pack_vector_kernel(ctx, stream, src, pat, 0, dt->size(), dst, 15);
+  const auto ref = test::reference_pack(dt, 1, src);
+  EXPECT_EQ(std::memcmp(dst, ref.data(), ref.size()), 0);
+}
+
+TEST_F(KernelTest, VectorPackSubRange) {
+  auto dt = core::submatrix_type(16, 8, 32);
+  const std::int64_t span = 32 * 8 * 8;
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* dst = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  test::fill_pattern(src, static_cast<std::size_t>(span), 6);
+  const auto pat = *dt->regular_pattern(1);
+  // Pack in three uneven pieces.
+  const std::int64_t cuts[] = {0, 100, 500, dt->size()};
+  for (int i = 0; i < 3; ++i)
+    pack_vector_kernel(ctx, stream, src, pat, cuts[i], cuts[i + 1],
+                       dst + cuts[i], 15);
+  const auto ref = test::reference_pack(dt, 1, src);
+  EXPECT_EQ(std::memcmp(dst, ref.data(), ref.size()), 0);
+}
+
+TEST_F(KernelTest, VectorUnpackInvertsPack) {
+  auto dt = core::submatrix_type(12, 5, 20);
+  const std::int64_t span = 20 * 5 * 8;
+  auto* orig = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  auto* back = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  test::fill_pattern(orig, static_cast<std::size_t>(span), 7);
+  std::memset(back, 0, static_cast<std::size_t>(span));
+  const auto pat = *dt->regular_pattern(1);
+  pack_vector_kernel(ctx, stream, orig, pat, 0, dt->size(), packed, 15);
+  unpack_vector_kernel(ctx, stream, back, pat, 0, dt->size(), packed, 15);
+  const auto a = test::reference_pack(dt, 1, orig);
+  const auto b = test::reference_pack(dt, 1, back);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(KernelTest, DevPackMatchesCpuReference) {
+  auto dt = core::lower_triangular_type(48, 64);
+  const std::int64_t span = 64 * 48 * 8;
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* dst = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  test::fill_pattern(src, static_cast<std::size_t>(span), 8);
+  auto units = convert_all(dt, 1, 1024);
+  pack_dev_kernel(ctx, stream, src, units, 0, dst, nullptr, 15);
+  const auto ref = test::reference_pack(dt, 1, src);
+  EXPECT_EQ(std::memcmp(dst, ref.data(), ref.size()), 0);
+}
+
+TEST_F(KernelTest, DevUnpackInvertsPack) {
+  auto dt = core::lower_triangular_type(32, 40);
+  const std::int64_t span = 40 * 32 * 8;
+  auto* orig = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  auto* back = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  test::fill_pattern(orig, static_cast<std::size_t>(span), 9);
+  std::memset(back, 0, static_cast<std::size_t>(span));
+  auto units = convert_all(dt, 1, 512);
+  pack_dev_kernel(ctx, stream, orig, units, 0, packed, nullptr, 15);
+  unpack_dev_kernel(ctx, stream, back, units, 0, packed, nullptr, 15);
+  EXPECT_EQ(test::reference_pack(dt, 1, orig),
+            test::reference_pack(dt, 1, back));
+}
+
+TEST_F(KernelTest, AlignedVectorNearsMemcpyBandwidth) {
+  // Large aligned vector: kernel duration within ~15% of a d2d memcpy
+  // (the paper's Figure 6 shows ~94% of the copy-engine peak).
+  const std::int64_t rows = 3968, cols = 2048, ld = 4096;  // 31KB columns
+  auto dt = core::submatrix_type(rows, cols, ld);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, ld * cols * 8));
+  auto* dst = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  const auto pat = *dt->regular_pattern(1);
+  const vt::Time start = ctx.clock.now();
+  const vt::Time fin =
+      pack_vector_kernel(ctx, stream, src, pat, 0, dt->size(), dst, 64);
+  const vt::Time kernel = fin - start;
+  const vt::Time memcpy_time = ctx.cost().d2d_copy_ns(dt->size());
+  EXPECT_LT(static_cast<double>(kernel),
+            1.15 * static_cast<double>(memcpy_time));
+  EXPECT_GT(static_cast<double>(kernel),
+            1.01 * static_cast<double>(memcpy_time));
+}
+
+TEST_F(KernelTest, MisalignedUnitsCostMoreTransactions) {
+  // Same payload; one unit set aligned to 128B, one drifting by 8B.
+  std::vector<CudaDevDist> aligned, drifting;
+  for (int i = 0; i < 64; ++i) {
+    aligned.push_back({i * 1024, i * 1024, 1024});
+    drifting.push_back({i * 1032, i * 1024, 1024});
+  }
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 1 << 20));
+  auto* dst = static_cast<std::byte*>(sg::Malloc(ctx, 1 << 20));
+  sg::Stream s1(&m.device(0)), s2(&m.device(0));
+  const vt::Time f1 = pack_dev_kernel(ctx, s1, src, aligned, 0, dst, nullptr, 15);
+  const vt::Time base1 = s1.tail();
+  const vt::Time f2 =
+      pack_dev_kernel(ctx, s2, src, drifting, 0, dst, nullptr, 15);
+  (void)base1;
+  // Durations: compare net-of-queue times via fresh streams.
+  EXPECT_GT(f2 - f1, 0);
+}
+
+TEST_F(KernelTest, ZeroCopyPackChargesPcie) {
+  auto dt = core::submatrix_type(64, 16, 128);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 128 * 16 * 8));
+  auto* host = static_cast<std::byte*>(sg::HostAlloc(ctx, dt->size(), true));
+  const auto pat = *dt->regular_pattern(1);
+  pack_vector_kernel(ctx, stream, src, pat, 0, dt->size(), host, 15);
+  EXPECT_GT(m.device(0).pcie().total_busy(), 0);
+  // Functional result still correct.
+  const auto ref = test::reference_pack(dt, 1, src);
+  EXPECT_EQ(std::memcmp(host, ref.data(), ref.size()), 0);
+}
+
+// --- Engine -----------------------------------------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  sg::Machine m{test::machine_config(2)};
+  sg::HostContext ctx{m, 0};
+};
+
+void run_roundtrip(sg::HostContext& ctx, GpuDatatypeEngine& eng,
+                   const mpi::DatatypePtr& dt, std::int64_t count,
+                   std::int64_t frag_bytes) {
+  const std::int64_t total = dt->size() * count;
+  const std::int64_t span = test::span_bytes(dt, count);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, total + 1));
+  auto* back = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  test::fill_pattern(src, static_cast<std::size_t>(span), 11);
+  std::memset(back, 0, static_cast<std::size_t>(span));
+  std::byte* src_base = src - dt->true_lb();
+  std::byte* back_base = back - dt->true_lb();
+
+  auto pack = eng.start(Dir::kPack, dt, count, src_base);
+  while (!pack->done()) {
+    const auto r =
+        eng.process_some(*pack, packed + pack->bytes_done(), frag_bytes);
+    ASSERT_EQ(r.bytes, std::min(frag_bytes, total - (pack->bytes_done() -
+                                                     r.bytes)));
+    if (r.bytes == 0) break;
+  }
+  eng.finish(*pack);
+  const auto ref = test::reference_pack(dt, count, src_base);
+  ASSERT_EQ(std::memcmp(packed, ref.data(), ref.size()), 0)
+      << dt->describe();
+
+  auto unpack = eng.start(Dir::kUnpack, dt, count, back_base);
+  while (!unpack->done()) {
+    const auto r =
+        eng.process_some(*unpack, packed + unpack->bytes_done(), frag_bytes);
+    if (r.bytes == 0) break;
+  }
+  eng.finish(*unpack);
+  EXPECT_EQ(test::reference_pack(dt, count, back_base), ref)
+      << dt->describe();
+  sg::Free(ctx, src);
+  sg::Free(ctx, packed);
+  sg::Free(ctx, back);
+}
+
+TEST_F(EngineTest, VectorFastPathRoundTrip) {
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::submatrix_type(64, 32, 100);
+  auto op = eng.start(Dir::kPack, dt, 1, nullptr);
+  EXPECT_TRUE(op->on_vector_path());
+  run_roundtrip(ctx, eng, dt, 1, 8192);
+}
+
+TEST_F(EngineTest, TriangularDevPathRoundTrip) {
+  GpuDatatypeEngine eng(ctx);
+  run_roundtrip(ctx, eng, core::lower_triangular_type(64, 80), 1, 8192);
+}
+
+TEST_F(EngineTest, TransposeTypeRoundTrip) {
+  GpuDatatypeEngine eng(ctx);
+  run_roundtrip(ctx, eng, core::transpose_type(24, 24), 1, 4096);
+}
+
+TEST_F(EngineTest, OddFragmentBoundariesSplitUnits) {
+  GpuDatatypeEngine eng(ctx);
+  // Fragment size deliberately not a multiple of the unit size.
+  run_roundtrip(ctx, eng, core::lower_triangular_type(48, 48), 1, 1000);
+}
+
+TEST_F(EngineTest, MultiCountRoundTrip) {
+  GpuDatatypeEngine eng(ctx);
+  run_roundtrip(ctx, eng, core::submatrix_type(16, 4, 24), 5, 2048);
+}
+
+TEST_F(EngineTest, RandomTypesRoundTrip) {
+  GpuDatatypeEngine eng(ctx);
+  std::mt19937 rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto dt = test::random_datatype(rng);
+    if (dt->size() == 0) continue;
+    run_roundtrip(ctx, eng, dt, 1 + trial % 3, 512 + 256 * (trial % 5));
+  }
+}
+
+TEST_F(EngineTest, SecondPackHitsCache) {
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::lower_triangular_type(64, 64);
+  run_roundtrip(ctx, eng, dt, 1, 8192);
+  EXPECT_GE(eng.cache().size(), 1u);
+  auto op = eng.start(Dir::kPack, dt, 1, nullptr);
+  EXPECT_TRUE(op->used_cache());
+}
+
+TEST_F(EngineTest, CacheDisabledNeverCaches) {
+  EngineConfig cfg;
+  cfg.cache_enabled = false;
+  GpuDatatypeEngine eng(ctx, cfg);
+  auto dt = core::lower_triangular_type(32, 32);
+  run_roundtrip(ctx, eng, dt, 1, 8192);
+  EXPECT_EQ(eng.cache().size(), 0u);
+}
+
+TEST_F(EngineTest, CachedPackIsFasterThanFirstPack) {
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::lower_triangular_type(256, 256);
+  const std::int64_t total = dt->size();
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 256 * 256 * 8));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, total));
+
+  auto time_pack = [&]() {
+    const vt::Time t0 = ctx.clock.now();
+    auto op = eng.start(Dir::kPack, dt, 1, src);
+    vt::Time last = t0;
+    while (!op->done()) {
+      const auto r = eng.process_some(*op, packed + op->bytes_done(), total);
+      if (r.bytes == 0) break;
+      last = r.ready;
+    }
+    eng.finish(*op);
+    ctx.clock.wait_until(last);
+    return ctx.clock.now() - t0;
+  };
+  const vt::Time first = time_pack();
+  const vt::Time second = time_pack();
+  EXPECT_LT(second, first);
+}
+
+TEST_F(EngineTest, PipelinedConversionBeatsSequential) {
+  auto dt = core::lower_triangular_type(512, 512);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 512 * 512 * 8));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+
+  auto run_with = [&](bool pipelined) {
+    EngineConfig cfg;
+    cfg.cache_enabled = false;
+    cfg.pipeline_conversion = pipelined;
+    sg::HostContext local(m, 0);
+    GpuDatatypeEngine eng(local, cfg);
+    const vt::Time t0 = local.clock.now();
+    auto op = eng.start(Dir::kPack, dt, 1, src);
+    vt::Time last = t0;
+    while (!op->done()) {
+      const auto r =
+          eng.process_some(*op, packed + op->bytes_done(), dt->size());
+      if (r.bytes == 0) break;
+      last = r.ready;
+    }
+    eng.finish(*op);
+    local.clock.wait_until(last);
+    return local.clock.now() - t0;
+  };
+  const vt::Time sequential = run_with(false);
+  m.reset_timing();
+  const vt::Time pipelined = run_with(true);
+  EXPECT_LT(static_cast<double>(pipelined),
+            0.80 * static_cast<double>(sequential));
+}
+
+TEST_F(EngineTest, DependencyDelaysKernel) {
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::submatrix_type(16, 4, 32);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 32 * 4 * 8));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  auto op = eng.start(Dir::kPack, dt, 1, src);
+  const vt::Time dep = ctx.clock.now() + vt::msec(5);
+  const auto r = eng.process_some(*op, packed, dt->size(), dep);
+  EXPECT_GE(r.ready, dep);
+}
+
+TEST_F(EngineTest, ResidueStreamVariantIsCorrect) {
+  EngineConfig cfg;
+  cfg.residue_separate_stream = true;
+  GpuDatatypeEngine eng(ctx, cfg);
+  // Triangular columns produce plenty of residue units.
+  run_roundtrip(ctx, eng, core::lower_triangular_type(96, 120), 1, 8192);
+  run_roundtrip(ctx, eng, core::transpose_type(24, 24), 1, 4096);
+}
+
+TEST_F(EngineTest, ResidueStreamCostsExtraLaunches) {
+  // The paper treats residues like full units "to launch a single kernel
+  // and therefore minimize launching overhead"; the alternative must
+  // measure slower on residue-heavy types.
+  auto dt = core::lower_triangular_type(512, 512);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 512 * 512 * 8));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  auto time_with = [&](bool residue_stream) {
+    EngineConfig cfg;
+    cfg.cache_enabled = false;
+    cfg.residue_separate_stream = residue_stream;
+    sg::HostContext local(m, 0);
+    GpuDatatypeEngine eng(local, cfg);
+    const vt::Time t0 = local.clock.now();
+    auto op = eng.start(Dir::kPack, dt, 1, src);
+    vt::Time last = t0;
+    while (!op->done()) {
+      const auto r =
+          eng.process_some(*op, packed + op->bytes_done(), dt->size());
+      if (r.bytes == 0) break;
+      last = r.ready;
+    }
+    eng.finish(*op);
+    local.clock.wait_until(last);
+    return local.clock.now() - t0;
+  };
+  const vt::Time equal_treatment = time_with(false);
+  m.reset_timing();
+  const vt::Time separate = time_with(true);
+  EXPECT_GT(separate, equal_treatment);
+}
+
+TEST_F(EngineTest, ZeroSizeOpCompletesImmediately) {
+  GpuDatatypeEngine eng(ctx);
+  auto dt = mpi::Datatype::contiguous(0, mpi::kDouble());
+  auto op = eng.start(Dir::kPack, dt, 4, nullptr);
+  EXPECT_TRUE(op->done());
+  const auto r = eng.process_some(*op, nullptr, 100);
+  EXPECT_EQ(r.bytes, 0);
+}
+
+}  // namespace
+}  // namespace gpuddt::core
+
+namespace gpuddt::core {
+namespace {
+
+TEST(Prefetch, WarmsCacheBeforeFirstPack) {
+  sg::Machine m{test::machine_config(1, 128u << 20)};
+  sg::HostContext ctx(m, 0);
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::lower_triangular_type(64, 64);
+  eng.prefetch(dt, 1);
+  EXPECT_EQ(eng.cache().size(), 1u);
+  auto op = eng.start(GpuDatatypeEngine::Dir::kPack, dt, 1, nullptr);
+  EXPECT_TRUE(op->used_cache());
+}
+
+TEST(Prefetch, ChargesConversionTime) {
+  sg::Machine m{test::machine_config(1, 128u << 20)};
+  sg::HostContext ctx(m, 0);
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::lower_triangular_type(256, 256);
+  const vt::Time t0 = ctx.clock.now();
+  eng.prefetch(dt, 1);
+  EXPECT_GT(ctx.clock.now(), t0);
+  // Idempotent and free the second time.
+  const vt::Time t1 = ctx.clock.now();
+  eng.prefetch(dt, 1);
+  EXPECT_EQ(ctx.clock.now(), t1);
+}
+
+TEST(Prefetch, SkipsVectorFastPath) {
+  sg::Machine m{test::machine_config(1, 128u << 20)};
+  sg::HostContext ctx(m, 0);
+  GpuDatatypeEngine eng(ctx);
+  eng.prefetch(core::submatrix_type(64, 16, 96), 1);
+  EXPECT_EQ(eng.cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace gpuddt::core

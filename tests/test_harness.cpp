@@ -1,0 +1,107 @@
+// Unit tests of the measurement harness itself (src/harness): the
+// figures' numbers are only as trustworthy as these runners.
+#include <gtest/gtest.h>
+
+#include "core/layouts.h"
+#include "harness/harness.h"
+
+namespace gpuddt::harness {
+namespace {
+
+sg::MachineConfig small_machine() {
+  sg::MachineConfig m;
+  m.num_devices = 2;
+  m.device_memory_bytes = 256u << 20;
+  return m;
+}
+
+TEST(Harness, PingPongReportsPlausibleBandwidth) {
+  PingPongSpec spec;
+  spec.cfg.world_size = 2;
+  spec.cfg.machine = small_machine();
+  spec.dt0 = spec.dt1 = mpi::Datatype::contiguous(1 << 20, mpi::kDouble());
+  const auto res = run_pingpong(spec);
+  EXPECT_EQ(res.message_bytes, 8 << 20);
+  EXPECT_GT(res.avg_roundtrip, 0);
+  // Bounded by the peer PCI-E rate.
+  EXPECT_LT(res.bandwidth_gbps(), 12.1);
+  EXPECT_GT(res.bandwidth_gbps(), 6.0);
+}
+
+TEST(Harness, WarmupExcludedFromMeasurement) {
+  // With warmup, the measured iterations skip the one-time costs (IPC
+  // opens, DEV conversion), so avg < the no-warmup average.
+  PingPongSpec spec;
+  spec.cfg.world_size = 2;
+  spec.cfg.machine = small_machine();
+  spec.dt0 = spec.dt1 = core::lower_triangular_type(512, 512);
+  spec.warmup = 1;
+  spec.iters = 2;
+  const auto warm = run_pingpong(spec);
+  spec.warmup = 0;
+  spec.iters = 1;
+  const auto cold = run_pingpong(spec);
+  EXPECT_LT(warm.avg_roundtrip, cold.avg_roundtrip);
+}
+
+TEST(Harness, MixedDatatypesUseSenderPayload) {
+  PingPongSpec spec;
+  spec.cfg.world_size = 2;
+  spec.cfg.machine = small_machine();
+  spec.dt0 = core::submatrix_type(128, 64, 192);
+  spec.dt1 = mpi::Datatype::contiguous(128 * 64, mpi::kDouble());
+  const auto res = run_pingpong(spec);
+  EXPECT_EQ(res.message_bytes, 128 * 64 * 8);
+}
+
+TEST(Harness, PackBenchSeparatesPackPhase) {
+  PackBenchSpec spec;
+  spec.dt = core::lower_triangular_type(256, 256);
+  spec.machine = small_machine();
+  const auto res = run_pack_bench(spec);
+  EXPECT_GT(res.avg_pack_ns, 0);
+  EXPECT_GT(res.avg_ns, res.avg_pack_ns);  // pack+unpack > pack
+  EXPECT_EQ(res.bytes, spec.dt->size());
+}
+
+TEST(Harness, PackTargetsOrderAsExpected) {
+  PackBenchSpec spec;
+  spec.dt = core::submatrix_type(512, 256, 768);
+  spec.machine = small_machine();
+  spec.target = PackTarget::kDevice;
+  const auto d2d = run_pack_bench(spec);
+  spec.target = PackTarget::kZeroCopy;
+  const auto cpy = run_pack_bench(spec);
+  spec.target = PackTarget::kDeviceHost;
+  const auto d2d2h = run_pack_bench(spec);
+  EXPECT_LT(d2d.avg_ns, cpy.avg_ns);
+  EXPECT_LT(cpy.avg_ns, d2d2h.avg_ns);
+}
+
+TEST(Harness, KernelBandwidthSaneForContiguous) {
+  // A dense "pattern" pack is essentially a copy: close to the memcpy
+  // peak, never above it.
+  auto dt = mpi::Datatype::contiguous(4 << 20, mpi::kDouble());
+  const double peak =
+      memcpy_d2d_bandwidth(dt->size(), small_machine());
+  const double bw = kernel_pack_bandwidth(dt, 1, {}, small_machine());
+  EXPECT_LT(bw, peak);
+  EXPECT_GT(bw, 0.85 * peak);
+}
+
+TEST(Harness, BackgroundHookRunsOnRankZero) {
+  PingPongSpec spec;
+  spec.cfg.world_size = 2;
+  spec.cfg.machine = small_machine();
+  spec.dt0 = spec.dt1 = mpi::Datatype::contiguous(1 << 18, mpi::kDouble());
+  int calls = 0;
+  spec.background = [&](mpi::Process& p) {
+    EXPECT_EQ(p.rank(), 0);
+    ++calls;
+  };
+  run_pingpong(spec);
+  EXPECT_EQ(calls, spec.warmup + spec.iters);
+}
+
+}  // namespace
+}  // namespace gpuddt::harness

@@ -1,0 +1,101 @@
+// trace_pipeline: visualize the pipelined RDMA protocol of Section 4.1.
+//
+// Runs one GPU-to-GPU transfer of a triangular matrix with fragment
+// tracing enabled and prints a virtual-time Gantt chart: one row per
+// fragment, showing when it was packed+announced, staged (one-sided get),
+// and unpacked. The staircase overlap - fragment k+1 packed while
+// fragment k is still being unpacked - is the mechanism that cuts the
+// paper's transfer cost to "the data transfer plus the most expensive
+// stage on a single fragment".
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/layouts.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "protocols/gpu_plugin.h"
+
+using namespace gpuddt;
+
+int main(int argc, char** argv) {
+  const std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 1024;
+
+  mpi::RuntimeConfig cfg;
+  cfg.world_size = 2;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = std::size_t{2} << 30;
+  cfg.gpu_frag_bytes = 512 << 10;
+
+  mpi::Runtime rt(cfg);
+  auto plugin = std::make_shared<proto::GpuDatatypePlugin>();
+  rt.set_gpu_plugin(plugin);
+
+  std::vector<proto::GpuDatatypePlugin::FragTrace> trace;
+  vt::Time recv_done = 0;
+
+  rt.run([&](mpi::Process& p) {
+    mpi::Comm comm(p);
+    auto dt = core::lower_triangular_type(n, n);
+    auto* buf = static_cast<std::byte*>(
+        sg::Malloc(p.gpu(), static_cast<std::size_t>(n * n * 8)));
+    if (p.rank() == 0) {
+      comm.send(buf, 1, dt, 1, 0);
+    } else {
+      plugin->enable_tracing(p);
+      comm.recv(buf, 1, dt, 0, 0);
+      trace = plugin->trace(p);
+      recv_done = p.clock().now();
+    }
+  });
+
+  if (trace.empty()) {
+    std::printf("no fragments traced (message too small?)\n");
+    return 1;
+  }
+
+  const vt::Time t0 = trace.front().packed_and_wired;
+  vt::Time t1 = 0;
+  for (const auto& f : trace) t1 = std::max(t1, f.unpacked);
+  const double span = static_cast<double>(t1 - t0);
+  constexpr int kWidth = 72;
+  auto col = [&](vt::Time t) {
+    const double x = static_cast<double>(t - t0) / span;
+    return std::clamp(static_cast<int>(x * kWidth), 0, kWidth - 1);
+  };
+
+  std::printf("pipelined RDMA transfer: triangular N=%lld (%.1f MB), "
+              "%zu fragments of %lld KB\n",
+              static_cast<long long>(n),
+              static_cast<double>(core::lower_triangle_elems(n) * 8) /
+                  (1 << 20),
+              trace.size(),
+              static_cast<long long>(cfg.gpu_frag_bytes >> 10));
+  std::printf("virtual timeline: 0 .. %.1f us   "
+              "(P = packed+announced, = in staging get, # unpacking)\n\n",
+              span / 1e3);
+  for (const auto& f : trace) {
+    std::string row(kWidth, ' ');
+    const int a = col(f.packed_and_wired);
+    const int b = col(f.staged);
+    const int c = col(f.unpacked);
+    row[a] = 'P';
+    for (int i = a + 1; i <= b; ++i) row[i] = '=';
+    for (int i = b + 1; i <= c; ++i) row[i] = '#';
+    std::printf("frag %3lld |%s|\n", static_cast<long long>(f.frag),
+                row.c_str());
+  }
+
+  // Quantify the overlap the chart shows.
+  int overlaps = 0;
+  for (std::size_t k = 0; k + 1 < trace.size(); ++k) {
+    if (trace[k + 1].packed_and_wired < trace[k].unpacked) ++overlaps;
+  }
+  std::printf("\n%d of %zu adjacent fragment pairs overlap "
+              "(pack(k+1) before unpack(k) finished)\n",
+              overlaps, trace.size() - 1);
+  std::printf("receive completed at %.1f us of virtual time\n",
+              static_cast<double>(recv_done) / 1e3);
+  return 0;
+}
