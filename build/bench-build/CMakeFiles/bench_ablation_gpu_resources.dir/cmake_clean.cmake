@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gpu_resources"
+  "../bench/bench_ablation_gpu_resources.pdb"
+  "CMakeFiles/bench_ablation_gpu_resources.dir/bench_ablation_gpu_resources.cpp.o"
+  "CMakeFiles/bench_ablation_gpu_resources.dir/bench_ablation_gpu_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpu_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

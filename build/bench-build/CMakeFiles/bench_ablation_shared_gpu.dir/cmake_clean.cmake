@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_shared_gpu"
+  "../bench/bench_ablation_shared_gpu.pdb"
+  "CMakeFiles/bench_ablation_shared_gpu.dir/bench_ablation_shared_gpu.cpp.o"
+  "CMakeFiles/bench_ablation_shared_gpu.dir/bench_ablation_shared_gpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shared_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

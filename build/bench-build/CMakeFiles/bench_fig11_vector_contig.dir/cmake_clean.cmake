@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_vector_contig"
+  "../bench/bench_fig11_vector_contig.pdb"
+  "CMakeFiles/bench_fig11_vector_contig.dir/bench_fig11_vector_contig.cpp.o"
+  "CMakeFiles/bench_fig11_vector_contig.dir/bench_fig11_vector_contig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vector_contig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

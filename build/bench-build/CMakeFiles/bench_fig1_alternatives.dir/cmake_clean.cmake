@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_alternatives"
+  "../bench/bench_fig1_alternatives.pdb"
+  "CMakeFiles/bench_fig1_alternatives.dir/bench_fig1_alternatives.cpp.o"
+  "CMakeFiles/bench_fig1_alternatives.dir/bench_fig1_alternatives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

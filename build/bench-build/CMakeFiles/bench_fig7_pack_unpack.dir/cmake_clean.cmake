@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_pack_unpack"
+  "../bench/bench_fig7_pack_unpack.pdb"
+  "CMakeFiles/bench_fig7_pack_unpack.dir/bench_fig7_pack_unpack.cpp.o"
+  "CMakeFiles/bench_fig7_pack_unpack.dir/bench_fig7_pack_unpack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pack_unpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

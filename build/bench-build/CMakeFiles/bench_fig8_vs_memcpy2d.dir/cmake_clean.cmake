@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_vs_memcpy2d"
+  "../bench/bench_fig8_vs_memcpy2d.pdb"
+  "CMakeFiles/bench_fig8_vs_memcpy2d.dir/bench_fig8_vs_memcpy2d.cpp.o"
+  "CMakeFiles/bench_fig8_vs_memcpy2d.dir/bench_fig8_vs_memcpy2d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_vs_memcpy2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

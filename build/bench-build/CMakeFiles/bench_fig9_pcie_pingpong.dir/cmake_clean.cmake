@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_pcie_pingpong"
+  "../bench/bench_fig9_pcie_pingpong.pdb"
+  "CMakeFiles/bench_fig9_pcie_pingpong.dir/bench_fig9_pcie_pingpong.cpp.o"
+  "CMakeFiles/bench_fig9_pcie_pingpong.dir/bench_fig9_pcie_pingpong.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_pcie_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

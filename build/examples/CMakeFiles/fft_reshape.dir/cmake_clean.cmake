@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_reshape.dir/fft_reshape.cpp.o"
+  "CMakeFiles/fft_reshape.dir/fft_reshape.cpp.o.d"
+  "fft_reshape"
+  "fft_reshape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_reshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_halo.dir/rma_halo.cpp.o"
+  "CMakeFiles/rma_halo.dir/rma_halo.cpp.o.d"
+  "rma_halo"
+  "rma_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

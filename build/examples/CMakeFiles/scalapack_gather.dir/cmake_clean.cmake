@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalapack_gather.dir/scalapack_gather.cpp.o"
+  "CMakeFiles/scalapack_gather.dir/scalapack_gather.cpp.o.d"
+  "scalapack_gather"
+  "scalapack_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalapack_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

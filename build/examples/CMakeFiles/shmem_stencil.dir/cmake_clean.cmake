@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_stencil.dir/shmem_stencil.cpp.o"
+  "CMakeFiles/shmem_stencil.dir/shmem_stencil.cpp.o.d"
+  "shmem_stencil"
+  "shmem_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil2d.dir/stencil2d.cpp.o"
+  "CMakeFiles/stencil2d.dir/stencil2d.cpp.o.d"
+  "stencil2d"
+  "stencil2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/transpose.cpp" "examples/CMakeFiles/transpose.dir/transpose.cpp.o" "gcc" "examples/CMakeFiles/transpose.dir/transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpuddt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/gpuddt_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/gpuddt_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/gpuddt_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpuddt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuddt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/gpuddt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/gpuddt_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

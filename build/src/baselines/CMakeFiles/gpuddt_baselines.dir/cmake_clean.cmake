@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_baselines.dir/alternatives.cpp.o"
+  "CMakeFiles/gpuddt_baselines.dir/alternatives.cpp.o.d"
+  "CMakeFiles/gpuddt_baselines.dir/mvapich_plugin.cpp.o"
+  "CMakeFiles/gpuddt_baselines.dir/mvapich_plugin.cpp.o.d"
+  "CMakeFiles/gpuddt_baselines.dir/vectorize.cpp.o"
+  "CMakeFiles/gpuddt_baselines.dir/vectorize.cpp.o.d"
+  "libgpuddt_baselines.a"
+  "libgpuddt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

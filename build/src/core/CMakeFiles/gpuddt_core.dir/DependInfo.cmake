@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dev.cpp" "src/core/CMakeFiles/gpuddt_core.dir/dev.cpp.o" "gcc" "src/core/CMakeFiles/gpuddt_core.dir/dev.cpp.o.d"
+  "/root/repo/src/core/dev_cache.cpp" "src/core/CMakeFiles/gpuddt_core.dir/dev_cache.cpp.o" "gcc" "src/core/CMakeFiles/gpuddt_core.dir/dev_cache.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/gpuddt_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/gpuddt_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/gpuddt_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/gpuddt_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/layouts.cpp" "src/core/CMakeFiles/gpuddt_core.dir/layouts.cpp.o" "gcc" "src/core/CMakeFiles/gpuddt_core.dir/layouts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/gpuddt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/gpuddt_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

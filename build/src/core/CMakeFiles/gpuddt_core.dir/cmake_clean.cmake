@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_core.dir/dev.cpp.o"
+  "CMakeFiles/gpuddt_core.dir/dev.cpp.o.d"
+  "CMakeFiles/gpuddt_core.dir/dev_cache.cpp.o"
+  "CMakeFiles/gpuddt_core.dir/dev_cache.cpp.o.d"
+  "CMakeFiles/gpuddt_core.dir/engine.cpp.o"
+  "CMakeFiles/gpuddt_core.dir/engine.cpp.o.d"
+  "CMakeFiles/gpuddt_core.dir/kernels.cpp.o"
+  "CMakeFiles/gpuddt_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/gpuddt_core.dir/layouts.cpp.o"
+  "CMakeFiles/gpuddt_core.dir/layouts.cpp.o.d"
+  "libgpuddt_core.a"
+  "libgpuddt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpuddt_core.a"
+)

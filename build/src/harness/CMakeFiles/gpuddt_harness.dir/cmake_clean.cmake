@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_harness.dir/harness.cpp.o"
+  "CMakeFiles/gpuddt_harness.dir/harness.cpp.o.d"
+  "libgpuddt_harness.a"
+  "libgpuddt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

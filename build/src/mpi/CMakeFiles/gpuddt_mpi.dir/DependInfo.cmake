@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/bml.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/bml.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/bml.cpp.o.d"
+  "/root/repo/src/mpi/btl.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/btl.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/btl.cpp.o.d"
+  "/root/repo/src/mpi/coll.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/coll.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/coll.cpp.o.d"
+  "/root/repo/src/mpi/cpu_pack.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/cpu_pack.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/cpu_pack.cpp.o.d"
+  "/root/repo/src/mpi/cursor.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/cursor.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/cursor.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/pml.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/pml.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/pml.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/mpi/CMakeFiles/gpuddt_mpi.dir/runtime.cpp.o" "gcc" "src/mpi/CMakeFiles/gpuddt_mpi.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simgpu/CMakeFiles/gpuddt_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

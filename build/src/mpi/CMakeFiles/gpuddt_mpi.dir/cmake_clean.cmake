@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_mpi.dir/bml.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/bml.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/btl.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/btl.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/coll.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/coll.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/cpu_pack.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/cpu_pack.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/cursor.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/cursor.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/pml.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/pml.cpp.o.d"
+  "CMakeFiles/gpuddt_mpi.dir/runtime.cpp.o"
+  "CMakeFiles/gpuddt_mpi.dir/runtime.cpp.o.d"
+  "libgpuddt_mpi.a"
+  "libgpuddt_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_protocols.dir/gpu_plugin.cpp.o"
+  "CMakeFiles/gpuddt_protocols.dir/gpu_plugin.cpp.o.d"
+  "libgpuddt_protocols.a"
+  "libgpuddt_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_rma.dir/window.cpp.o"
+  "CMakeFiles/gpuddt_rma.dir/window.cpp.o.d"
+  "libgpuddt_rma.a"
+  "libgpuddt_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_shmem.dir/shmem.cpp.o"
+  "CMakeFiles/gpuddt_shmem.dir/shmem.cpp.o.d"
+  "libgpuddt_shmem.a"
+  "libgpuddt_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

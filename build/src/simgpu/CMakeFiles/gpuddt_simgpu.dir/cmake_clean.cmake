@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpuddt_simgpu.dir/runtime.cpp.o"
+  "CMakeFiles/gpuddt_simgpu.dir/runtime.cpp.o.d"
+  "libgpuddt_simgpu.a"
+  "libgpuddt_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpuddt_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

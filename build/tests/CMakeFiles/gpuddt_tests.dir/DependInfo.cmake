@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_btl_bml.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_btl_bml.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_btl_bml.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_cursor_pack.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_cursor_pack.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_cursor_pack.cpp.o.d"
+  "/root/repo/tests/test_darray.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_darray.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_darray.cpp.o.d"
+  "/root/repo/tests/test_datatype.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_datatype.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_datatype.cpp.o.d"
+  "/root/repo/tests/test_dev_engine.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_dev_engine.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_dev_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_sweeps.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_engine_sweeps.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_engine_sweeps.cpp.o.d"
+  "/root/repo/tests/test_gpu_protocols.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_gpu_protocols.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_gpu_protocols.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_mpi_host.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_mpi_host.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_mpi_host.cpp.o.d"
+  "/root/repo/tests/test_pack_api.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_pack_api.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_pack_api.cpp.o.d"
+  "/root/repo/tests/test_requests.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_requests.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_requests.cpp.o.d"
+  "/root/repo/tests/test_reshape_property.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_reshape_property.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_reshape_property.cpp.o.d"
+  "/root/repo/tests/test_rma.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_rma.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_rma.cpp.o.d"
+  "/root/repo/tests/test_shmem.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_shmem.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_shmem.cpp.o.d"
+  "/root/repo/tests/test_simgpu.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_simgpu.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_simgpu.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_timing_model.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_timing_model.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_timing_model.cpp.o.d"
+  "/root/repo/tests/test_vtime.cpp" "tests/CMakeFiles/gpuddt_tests.dir/test_vtime.cpp.o" "gcc" "tests/CMakeFiles/gpuddt_tests.dir/test_vtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpuddt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/gpuddt_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/gpuddt_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuddt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/gpuddt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/gpuddt_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/gpuddt_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gpuddt_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

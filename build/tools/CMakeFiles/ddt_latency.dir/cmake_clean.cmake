@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddt_latency.dir/ddt_latency.cpp.o"
+  "CMakeFiles/ddt_latency.dir/ddt_latency.cpp.o.d"
+  "ddt_latency"
+  "ddt_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddt_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/trace_pipeline.cpp" "tools/CMakeFiles/trace_pipeline.dir/trace_pipeline.cpp.o" "gcc" "tools/CMakeFiles/trace_pipeline.dir/trace_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/gpuddt_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpuddt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/gpuddt_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/gpuddt_simgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
