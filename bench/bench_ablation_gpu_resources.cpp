@@ -65,4 +65,4 @@ BENCHMARK(BM_Resources_PingPong_T)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -73,4 +73,4 @@ BENCHMARK(BM_GpuDirect_Policy)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

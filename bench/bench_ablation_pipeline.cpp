@@ -173,4 +173,4 @@ BENCHMARK(BM_RecvLocalStaging_OnOff)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

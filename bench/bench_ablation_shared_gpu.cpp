@@ -44,4 +44,4 @@ BENCHMARK(BM_SharedGpu_T)->Apply(load_sweep)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

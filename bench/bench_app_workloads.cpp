@@ -193,4 +193,4 @@ BENCHMARK(BM_App_ScalapackGather_MVAPICH)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -9,11 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "baselines/mvapich_plugin.h"
 #include "core/layouts.h"
 #include "harness/harness.h"
 #include "mpi/runtime.h"
+#include "obs/recorder.h"
 
 namespace gpuddt::bench {
 
@@ -69,4 +74,42 @@ inline void record(benchmark::State& state, vt::Time virtual_ns,
       static_cast<double>(payload_bytes) / (1 << 20));
 }
 
+/// Shared main: strips `--metrics-out=FILE` (and `--trace`) before handing
+/// the rest to google-benchmark, then dumps the process-global recorder
+/// (which the harness feeds when specs carry no recorder of their own) as
+/// JSON. Returns the usual benchmark exit status.
+inline int bench_main(int argc, char** argv) {
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      obs::default_recorder().enable_tracing(true);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    if (!obs::default_recorder().write_json(metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace gpuddt::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() with --metrics-out support.
+#define GPUDDT_BENCH_MAIN()                                \
+  int main(int argc, char** argv) {                        \
+    return gpuddt::bench::bench_main(argc, argv);          \
+  }

@@ -68,4 +68,4 @@ FIG10_BENCH(IB_T_MVAPICH, Topo::kIb, t_type, true);
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -68,4 +68,4 @@ BENCHMARK(BM_Fig11_IB_VtoC_MVAPICH)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -55,4 +55,4 @@ BENCHMARK(BM_Fig12_IB_Transpose)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -120,4 +120,4 @@ BENCHMARK(BM_Fig1d_GpuKernel_V)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -62,4 +62,4 @@ BENCHMARK(BM_Fig6_C_cudaMemcpy)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -104,4 +104,4 @@ BENCHMARK(BM_Fig7_T_cpy_cached)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -149,4 +149,4 @@ BENCHMARK(BM_Fig8_mcp2d_d2h)
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -33,4 +33,4 @@ BENCHMARK(BM_Fig9_C)->Apply(matrix_sizes)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace gpuddt::bench
 
-BENCHMARK_MAIN();
+GPUDDT_BENCH_MAIN();

@@ -15,6 +15,8 @@ std::size_t DevCursor::next_units(std::span<CudaDevDist> out) {
   std::size_t n = 0;
   mpi::Block b;
   while (n < out.size() && cursor_.next(unit_bytes_, &b)) {
+    if (b.offset != last_end_) ++pieces_;  // new contiguous run begins
+    last_end_ = b.offset + b.len;
     out[n].nc_disp = b.offset;
     out[n].pk_disp = packed_off_;
     out[n].length = b.len;

@@ -42,12 +42,17 @@ class DevCursor {
   std::int64_t total_bytes() const { return cursor_.total_bytes(); }
 
   /// Contiguous pieces visited so far (host traversal cost accounting).
-  std::int64_t pieces_visited() const { return cursor_.pieces_produced(); }
+  /// Splitting one large block into several units walks the datatype
+  /// program once, so the units of a contiguous run count as one piece;
+  /// emission cost is charged per unit separately.
+  std::int64_t pieces_visited() const { return pieces_; }
 
  private:
   mpi::BlockCursor cursor_;
   std::int64_t unit_bytes_ = 1024;
   std::int64_t packed_off_ = 0;
+  std::int64_t pieces_ = 0;
+  std::int64_t last_end_ = -1;  // source end of the last emitted unit
 };
 
 /// Convert a whole datatype in one shot (cache fill, tests).

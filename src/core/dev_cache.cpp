@@ -1,15 +1,23 @@
 #include "core/dev_cache.h"
 
-#include <algorithm>
 #include <cstring>
+
+#include "obs/recorder.h"
 
 namespace gpuddt::core {
 
-void DevCache::touch(const Key& k) const {
-  auto& lru = const_cast<DevCache*>(this)->lru_;
-  auto it = std::find(lru.begin(), lru.end(), k);
-  if (it != lru.end()) lru.erase(it);
-  lru.push_front(k);
+void DevCache::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  if (rec_ == nullptr) return;
+  // Pre-register the core cache counters so a dump always reports them,
+  // even when (e.g.) nothing was ever evicted.
+  rec_->metrics().counter("dev_cache.hits");
+  rec_->metrics().counter("dev_cache.misses");
+  rec_->metrics().counter("dev_cache.evictions");
+}
+
+void DevCache::touch(const Node& n) const {
+  lru_.splice(lru_.begin(), lru_, n.lru_it);
 }
 
 const DevCache::Entry* DevCache::find(const mpi::DatatypePtr& dt,
@@ -19,11 +27,13 @@ const DevCache::Entry* DevCache::find(const mpi::DatatypePtr& dt,
   auto it = entries_.find(k);
   if (it == entries_.end()) {
     ++misses_;
+    obs::count(rec_, "dev_cache.misses");
     return nullptr;
   }
   ++hits_;
-  touch(k);
-  return it->second.get();
+  obs::count(rec_, "dev_cache.hits");
+  touch(it->second);
+  return it->second.entry.get();
 }
 
 const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
@@ -34,16 +44,17 @@ const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
   const Key k{dt->type_id(), count, unit_bytes};
   auto it = entries_.find(k);
   if (it != entries_.end()) {
-    touch(k);
-    return it->second.get();  // already present; keep the existing copy
+    touch(it->second);
+    return it->second.entry.get();  // already present; keep existing copy
   }
   auto entry = std::make_unique<Entry>();
   entry->total_bytes = 0;
   for (const auto& u : units) entry->total_bytes += u.length;
   entry->units = std::move(units);
   const Entry* out = entry.get();
-  entries_.emplace(k, std::move(entry));
   lru_.push_front(k);
+  entries_.emplace(k, Node{std::move(entry), lru_.begin()});
+  obs::count(rec_, "dev_cache.inserts");
   evict_if_needed(ctx);
   return out;
 }
@@ -58,6 +69,9 @@ const CudaDevDist* DevCache::device_units(sg::HostContext& ctx,
   void* dev = sg::Malloc(ctx, bytes);
   sg::Memcpy(ctx, dev, e.units.data(), bytes);
   e.device_copies.emplace(ctx.device, dev);
+  obs::count(rec_, "dev_cache.device_uploads");
+  obs::count(rec_, "dev_cache.device_upload_bytes",
+             static_cast<std::int64_t>(bytes));
   return static_cast<const CudaDevDist*>(dev);
 }
 
@@ -67,21 +81,30 @@ void DevCache::evict_if_needed(sg::HostContext& ctx) {
     lru_.pop_back();
     auto it = entries_.find(victim);
     if (it == entries_.end()) continue;
-    for (auto& [dev, ptr] : it->second->device_copies) {
+    for (auto& [dev, ptr] : it->second.entry->device_copies) {
       // Freeing is only valid from a context that can see the arena;
       // device pointers resolve globally through the machine registry.
       sg::Free(ctx, ptr);
     }
     entries_.erase(it);
+    ++evictions_;
+    obs::count(rec_, "dev_cache.evictions");
   }
 }
 
 void DevCache::clear(sg::HostContext& ctx) {
-  for (auto& [k, e] : entries_) {
-    for (auto& [dev, ptr] : e->device_copies) sg::Free(ctx, ptr);
+  for (auto& [k, n] : entries_) {
+    for (auto& [dev, ptr] : n.entry->device_copies) sg::Free(ctx, ptr);
   }
   entries_.clear();
   lru_.clear();
+}
+
+std::vector<std::uint64_t> DevCache::lru_type_ids() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(lru_.size());
+  for (const auto& k : lru_) out.push_back(k.type_id);
+  return out;
 }
 
 }  // namespace gpuddt::core

@@ -8,6 +8,8 @@
 // Keyed by (datatype instance, count, unit size). Holds the host-side unit
 // array and, lazily, a device-resident copy per device (so repeated
 // pack/unpack skips both the conversion and the descriptor upload).
+// Entries carry their LRU-list iterator, so a hit promotes in O(1) via
+// std::list::splice instead of scanning the recency list.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,10 @@
 
 #include "core/dev.h"
 #include "simgpu/runtime.h"
+
+namespace gpuddt::obs {
+class Recorder;
+}
 
 namespace gpuddt::core {
 
@@ -33,6 +39,9 @@ class DevCache {
 
   explicit DevCache(std::size_t max_entries = 64)
       : max_entries_(max_entries) {}
+
+  /// Mirror hit/miss/eviction/upload events into `rec` (nullable).
+  void set_recorder(obs::Recorder* rec);
 
   /// Look up a converted array; nullptr on miss.
   const Entry* find(const mpi::DatatypePtr& dt, std::int64_t count,
@@ -54,6 +63,10 @@ class DevCache {
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Cache keys from most- to least-recently used (tests, introspection).
+  std::vector<std::uint64_t> lru_type_ids() const;
 
  private:
   struct Key {
@@ -70,15 +83,22 @@ class DevCache {
       return h;
     }
   };
+  struct Node {
+    std::unique_ptr<Entry> entry;
+    std::list<Key>::iterator lru_it;  // position in lru_; stable across
+                                      // rehash and splice
+  };
 
   void evict_if_needed(sg::HostContext& ctx);
-  void touch(const Key& k) const;
+  void touch(const Node& n) const;
 
   std::size_t max_entries_;
-  std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> entries_;
-  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Node, KeyHash> entries_;
+  mutable std::list<Key> lru_;  // front = most recent
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace gpuddt::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/recorder.h"
+
 namespace gpuddt::core {
 
 GpuDatatypeEngine::GpuDatatypeEngine(sg::HostContext& ctx, EngineConfig cfg)
@@ -15,6 +17,7 @@ GpuDatatypeEngine::GpuDatatypeEngine(sg::HostContext& ctx, EngineConfig cfg)
     throw std::invalid_argument("EngineConfig: unit_bytes below 256B floor");
   if (cfg_.convert_chunk_units == 0)
     throw std::invalid_argument("EngineConfig: zero conversion chunk");
+  cache_.set_recorder(cfg_.recorder);
 }
 
 GpuDatatypeEngine::~GpuDatatypeEngine() = default;
@@ -30,6 +33,7 @@ std::unique_ptr<GpuDatatypeEngine::Op> GpuDatatypeEngine::start(
   op->pattern_ = op->dt_->regular_pattern(count);
   if (op->pattern_) {
     ++stats_.vector_fast_path_ops;
+    obs::count(cfg_.recorder, "engine.ops.vector");
     return op;  // vector fast path: no conversion at all
   }
 
@@ -37,6 +41,7 @@ std::unique_ptr<GpuDatatypeEngine::Op> GpuDatatypeEngine::start(
     op->cached_ = cache_.find(op->dt_, count, cfg_.unit_bytes);
     if (op->cached_ != nullptr) {
       op->cached_dev_ = cache_.device_units(ctx_, *op->cached_);
+      obs::count(cfg_.recorder, "engine.ops.dev_cached");
       return op;
     }
     op->fill_cache_ = true;
@@ -45,6 +50,7 @@ std::unique_ptr<GpuDatatypeEngine::Op> GpuDatatypeEngine::start(
           static_cast<std::size_t>(op->total_ / cfg_.unit_bytes + 16));
     }
   }
+  obs::count(cfg_.recorder, "engine.ops.dev");
   op->cursor_ = DevCursor(op->dt_, count, cfg_.unit_bytes);
   return op;
 }
@@ -61,12 +67,20 @@ vt::Time GpuDatatypeEngine::launch(Op& op, std::span<const CudaDevDist> units,
                                    const CudaDevDist* dev_units,
                                    sg::Stream& stream) {
   ++stats_.kernels_launched;
+  obs::count(cfg_.recorder, "engine.kernels.dev");
+  const vt::Time queued = std::max(ctx_.clock.now(), stream.tail());
+  vt::Time ready;
   if (op.dir_ == Dir::kPack) {
-    return pack_dev_kernel(ctx_, stream, op.user_base_, units, pk_base,
-                           contig, dev_units, cfg_.kernel_blocks);
+    ready = pack_dev_kernel(ctx_, stream, op.user_base_, units, pk_base,
+                            contig, dev_units, cfg_.kernel_blocks);
+  } else {
+    ready = unpack_dev_kernel(ctx_, stream, op.user_base_, units, pk_base,
+                              contig, dev_units, cfg_.kernel_blocks);
   }
-  return unpack_dev_kernel(ctx_, stream, op.user_base_, units, pk_base,
-                           contig, dev_units, cfg_.kernel_blocks);
+  obs::trace(cfg_.recorder,
+             {"dev_kernel", "engine", queued, ready, ctx_.device,
+              static_cast<std::int64_t>(units.size())});
+  return ready;
 }
 
 GpuDatatypeEngine::Result GpuDatatypeEngine::process_vector(
@@ -75,6 +89,8 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_vector(
   const std::int64_t hi = std::min(op.total_, lo + max_bytes);
   sg::StreamWaitEvent(ctx_, kernel_stream_, sg::Event{dep});
   ++stats_.kernels_launched;
+  obs::count(cfg_.recorder, "engine.kernels.vector");
+  const vt::Time queued = std::max(ctx_.clock.now(), kernel_stream_.tail());
   vt::Time ready;
   if (op.dir_ == Dir::kPack) {
     ready = pack_vector_kernel(ctx_, kernel_stream_, op.user_base_,
@@ -88,6 +104,12 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_vector(
   op.pos_ = hi;
   (op.dir_ == Dir::kPack ? stats_.bytes_packed : stats_.bytes_unpacked) +=
       hi - lo;
+  obs::count(cfg_.recorder,
+             op.dir_ == Dir::kPack ? "engine.pack.bytes.vector"
+                                   : "engine.unpack.bytes.vector",
+             hi - lo);
+  obs::trace(cfg_.recorder,
+             {"vector_kernel", "engine", queued, ready, ctx_.device, hi - lo});
   return {hi - lo, ready};
 }
 
@@ -99,12 +121,24 @@ void GpuDatatypeEngine::convert_chunk(Op& op, std::size_t limit) {
       std::span<CudaDevDist>(op.staged_.data() + old, limit));
   op.staged_.resize(old + n);
   stats_.units_converted += static_cast<std::int64_t>(n);
+  obs::count(cfg_.recorder, "engine.units.converted",
+             static_cast<std::int64_t>(n));
   // Host-side conversion cost (Section 3.2's first stage).
   const sg::CostModel& cm = ctx_.cost();
   const std::int64_t pieces = op.cursor_.pieces_visited() - pieces_before;
-  ctx_.clock.advance(static_cast<vt::Time>(
+  const auto adv = static_cast<vt::Time>(
       cm.cpu_dev_emit_ns * static_cast<double>(n) +
-      cm.cpu_block_walk_ns * static_cast<double>(pieces)));
+      cm.cpu_block_walk_ns * static_cast<double>(pieces));
+  const vt::Time t0 = ctx_.clock.now();
+  ctx_.clock.advance(adv);
+  // The slice of this conversion that ran while earlier kernels of the op
+  // were still executing is pipeline overlap (Section 3.2's win).
+  op.conv_ns_ += adv;
+  op.conv_overlap_ns_ +=
+      std::clamp<vt::Time>(kernel_stream_.tail() - t0, 0, adv);
+  obs::trace(cfg_.recorder,
+             {"convert_chunk", "engine", t0, t0 + adv, ctx_.device,
+              static_cast<std::int64_t>(n)});
   if (op.fill_cache_)
     op.accum_.insert(op.accum_.end(), op.staged_.begin() + old,
                      op.staged_.end());
@@ -121,10 +155,18 @@ const CudaDevDist* GpuDatatypeEngine::upload_descriptors(
   }
   // Upload on a dedicated stream; the kernel stream waits on it, so the
   // next conversion chunk (host) overlaps the current kernel (device).
-  sg::MemcpyAsync(ctx_, op.desc_dev_, units.data(),
-                  units.size() * sizeof(CudaDevDist), upload_stream_);
+  const auto bytes =
+      static_cast<std::int64_t>(units.size() * sizeof(CudaDevDist));
+  const vt::Time t0 = ctx_.clock.now();
+  const vt::Time done = sg::MemcpyAsync(ctx_, op.desc_dev_, units.data(),
+                                        units.size() * sizeof(CudaDevDist),
+                                        upload_stream_);
   sg::StreamWaitEvent(ctx_, kernel_stream_,
                       sg::EventRecord(ctx_, upload_stream_));
+  obs::count(cfg_.recorder, "engine.desc_uploads");
+  obs::count(cfg_.recorder, "engine.desc_upload_bytes", bytes);
+  obs::trace(cfg_.recorder,
+             {"desc_upload", "engine", t0, done, ctx_.device, bytes});
   return static_cast<const CudaDevDist*>(op.desc_dev_);
 }
 
@@ -174,9 +216,17 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
       }
     }
     if (op.ws_.empty()) break;
-    const CudaDevDist* dev_units =
-        cached ? op.cached_dev_ + first : upload_descriptors(op, op.ws_);
+    // Units served from the cache are counted per window, inside the
+    // loop: a small per-call budget walks this loop many times, and each
+    // window's ws_ replaces the previous one.
+    if (cached) {
+      stats_.units_from_cache += static_cast<std::int64_t>(op.ws_.size());
+      obs::count(cfg_.recorder, "engine.units.from_cache",
+                 static_cast<std::int64_t>(op.ws_.size()));
+    }
     if (!cfg_.residue_separate_stream) {
+      const CudaDevDist* dev_units =
+          cached ? op.cached_dev_ + first : upload_descriptors(op, op.ws_);
       ready = std::max(
           ready, launch(op, op.ws_, pk_base, contig, dev_units,
                         kernel_stream_));
@@ -185,26 +235,46 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
       // residues delegated to a second (lower-priority) stream - one
       // extra launch per window, which is exactly the overhead the paper
       // avoids by treating residues like every other unit.
-      std::vector<CudaDevDist> full, residue;
-      full.reserve(op.ws_.size());
-      for (const auto& u : op.ws_) {
-        (u.length == cfg_.unit_bytes ? full : residue).push_back(u);
-      }
+      //
+      // The split reorders units, so neither the ws_-ordered scratch nor
+      // the cached device array lines up index-for-index with what each
+      // kernel is handed. Build one stable split (full units first, then
+      // residues), upload descriptors in that order, and give each launch
+      // its own sub-span; the upload on the cached path is the honest
+      // extra cost of this ablation variant.
+      auto& split = op.split_;
+      split.clear();
+      split.reserve(op.ws_.size());
+      for (const auto& u : op.ws_)
+        if (u.length == cfg_.unit_bytes) split.push_back(u);
+      const std::size_t n_full = split.size();
+      for (const auto& u : op.ws_)
+        if (u.length != cfg_.unit_bytes) split.push_back(u);
+      const CudaDevDist* dev_split = upload_descriptors(op, split);
       sg::StreamWaitEvent(ctx_, residue_stream_,
                           sg::EventRecord(ctx_, upload_stream_));
+      const std::span<const CudaDevDist> full(split.data(), n_full);
+      const std::span<const CudaDevDist> residue(split.data() + n_full,
+                                                 split.size() - n_full);
       if (!full.empty())
-        ready = std::max(ready, launch(op, full, pk_base, contig, dev_units,
+        ready = std::max(ready, launch(op, full, pk_base, contig, dev_split,
                                        kernel_stream_));
       if (!residue.empty())
-        ready = std::max(ready, launch(op, residue, pk_base, contig,
-                                       dev_units, residue_stream_));
+        ready = std::max(ready,
+                         launch(op, residue, pk_base, contig,
+                                dev_split + n_full, residue_stream_));
     }
   }
   op.pos_ += bytes;
-  if (op.cached_ != nullptr)
-    stats_.units_from_cache += static_cast<std::int64_t>(op.ws_.size());
   (op.dir_ == Dir::kPack ? stats_.bytes_packed : stats_.bytes_unpacked) +=
       bytes;
+  obs::count(cfg_.recorder,
+             op.dir_ == Dir::kPack
+                 ? (cached ? "engine.pack.bytes.dev_cached"
+                           : "engine.pack.bytes.dev")
+                 : (cached ? "engine.unpack.bytes.dev_cached"
+                           : "engine.unpack.bytes.dev"),
+             bytes);
   return {bytes, ready};
 }
 
@@ -213,6 +283,10 @@ void GpuDatatypeEngine::finish(Op& op) {
     sg::Free(ctx_, op.desc_dev_);
     op.desc_dev_ = nullptr;
     op.desc_cap_units_ = 0;
+  }
+  if (op.conv_ns_ > 0) {
+    obs::observe(cfg_.recorder, "engine.op.conv_overlap_pct",
+                 100 * op.conv_overlap_ns_ / op.conv_ns_);
   }
   if (op.fill_cache_ && op.done() && cfg_.cache_enabled &&
       !op.pattern_.has_value()) {
@@ -227,12 +301,26 @@ void GpuDatatypeEngine::prefetch(const mpi::DatatypePtr& dt,
   if (!cfg_.cache_enabled || dt->size() * count == 0) return;
   if (dt->regular_pattern(count)) return;  // vector fast path: no DEVs
   if (cache_.find(dt, count, cfg_.unit_bytes) != nullptr) return;
+  // Drive the conversion through a cursor so the walk cost is charged per
+  // datatype piece actually visited - a long contiguous row is one walked
+  // piece but many emitted units, while tiny blocks are the reverse.
   DevCursor cur(dt, count, cfg_.unit_bytes);
-  auto units = convert_all(dt, count, cfg_.unit_bytes);
+  std::vector<CudaDevDist> units;
+  units.reserve(
+      static_cast<std::size_t>(dt->size() * count / cfg_.unit_bytes + 16));
+  CudaDevDist buf[256];
+  for (;;) {
+    const std::size_t n = cur.next_units(buf);
+    if (n == 0) break;
+    units.insert(units.end(), buf, buf + n);
+  }
   const sg::CostModel& cm = ctx_.cost();
   ctx_.clock.advance(static_cast<vt::Time>(
       cm.cpu_dev_emit_ns * static_cast<double>(units.size()) +
-      cm.cpu_block_walk_ns * static_cast<double>(units.size())));
+      cm.cpu_block_walk_ns * static_cast<double>(cur.pieces_visited())));
+  obs::count(cfg_.recorder, "engine.prefetches");
+  obs::count(cfg_.recorder, "engine.prefetch.units",
+             static_cast<std::int64_t>(units.size()));
   const auto* entry =
       cache_.insert(ctx_, dt, count, cfg_.unit_bytes, std::move(units));
   cache_.device_units(ctx_, *entry);  // upload now, not on first use

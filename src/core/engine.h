@@ -48,6 +48,10 @@ struct EngineConfig {
   /// single kernel and therefore minimize launching overhead"); this knob
   /// enables the alternative so the ablation can quantify that choice.
   bool residue_separate_stream = false;
+  /// Optional observability sink (counters, histograms, trace events).
+  /// Nullable; the engine is silent when unset. Declared in obs/recorder.h
+  /// (forward-declared via dev_cache.h).
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Counters the engine accumulates across operations.
@@ -104,6 +108,10 @@ class GpuDatatypeEngine {
     void* desc_dev_ = nullptr;          // device scratch for descriptors
     std::size_t desc_cap_units_ = 0;
     std::vector<CudaDevDist> ws_;       // per-launch trimmed window
+    std::vector<CudaDevDist> split_;    // residue-stream split (full first)
+    // Conversion/kernel overlap accounting (virtual time, per op).
+    vt::Time conv_ns_ = 0;          // total host conversion time
+    vt::Time conv_overlap_ns_ = 0;  // conversion time with a kernel in flight
   };
 
   /// Begin packing (gathering) or unpacking (scattering) `count` elements

@@ -5,6 +5,7 @@
 
 #include "core/dev.h"
 #include "core/kernels.h"
+#include "obs/recorder.h"
 #include "protocols/gpu_plugin.h"
 
 namespace gpuddt::harness {
@@ -19,7 +20,11 @@ std::int64_t span_of(const mpi::DatatypePtr& dt, std::int64_t count) {
 }  // namespace
 
 PingPongResult run_pingpong(const PingPongSpec& spec) {
-  mpi::Runtime rt(spec.cfg);
+  // Specs that don't bring their own recorder feed the process-global one,
+  // so bench binaries always have something to dump for --metrics-out.
+  mpi::RuntimeConfig cfg = spec.cfg;
+  if (cfg.recorder == nullptr) cfg.recorder = &obs::default_recorder();
+  mpi::Runtime rt(cfg);
   rt.set_gpu_plugin(spec.plugin
                         ? spec.plugin
                         : std::make_shared<proto::GpuDatatypePlugin>());
@@ -69,7 +74,9 @@ PingPongResult run_pingpong(const PingPongSpec& spec) {
 PackBenchResult run_pack_bench(const PackBenchSpec& spec) {
   sg::Machine machine(spec.machine);
   sg::HostContext ctx(machine, 0);
-  core::GpuDatatypeEngine eng(ctx, spec.engine);
+  core::EngineConfig ecfg = spec.engine;
+  if (ecfg.recorder == nullptr) ecfg.recorder = &obs::default_recorder();
+  core::GpuDatatypeEngine eng(ctx, ecfg);
   using Dir = core::GpuDatatypeEngine::Dir;
 
   const std::int64_t total = spec.dt->size() * spec.count;

@@ -6,6 +6,7 @@
 
 #include "mpi/btl.h"
 #include "mpi/coll.h"
+#include "obs/recorder.h"
 
 namespace gpuddt::mpi {
 
@@ -83,6 +84,10 @@ RecvRequest* Pml::find_recv(std::uint64_t id) {
 }
 
 void Pml::complete_send(SendRequest& req) {
+  if (req.rts_sent > 0) {
+    obs::observe(proc_.config().recorder, "pml.send.rendezvous_total_ns",
+                 proc_.clock().now() - req.rts_sent);
+  }
   req.user->done = true;
   sends_.erase(req.id);  // req dangles from here on
 }
@@ -132,6 +137,8 @@ Request Pml::isend(const void* buf, std::int64_t count, const DatatypePtr& dt,
                              static_cast<std::size_t>(r.total_bytes)));
     charge_cpu_pack(st);
     proc_.am_send(r.env.dst, h_eager_, std::move(payload));
+    obs::count(proc_.config().recorder, "pml.sends.eager");
+    obs::count(proc_.config().recorder, "pml.eager.bytes", r.total_bytes);
     complete_send(r);
     return user;
   }
@@ -161,6 +168,8 @@ void Pml::start_host_rendezvous_send(SendRequest& req) {
   rts.sig_hash = req.dt->signature().hash();
   req.cursor = BlockCursor(req.dt, req.count);
   proc_.am_send(req.env.dst, h_rts_, make_payload(rts));
+  req.rts_sent = proc_.clock().now();
+  obs::count(proc_.config().recorder, "pml.sends.rendezvous");
 }
 
 void Pml::stream_host_frags(SendRequest& req, const CtsHeader& cts) {
@@ -271,6 +280,7 @@ void Pml::handle_matched_rts(RecvRequest& req, const RtsHeader& rts,
   cts.mode = TransferMode::kHostFrags;
   cts.frag_bytes = static_cast<std::int64_t>(proc_.config().frag_bytes);
   proc_.am_send(rts.env.src, h_cts_, make_payload(cts));
+  req.cts_sent = proc_.clock().now();
 }
 
 bool Pml::try_match_posted(const Envelope& env, RecvRequest** out) {
@@ -331,6 +341,12 @@ void Pml::on_cts(AmMessage& m) {
   SendRequest* req = find_send(cts.send_id);
   if (req == nullptr)
     throw std::runtime_error("PML: CTS for unknown send request");
+  // RTS -> CTS handshake latency, recorded for every rendezvous flavour
+  // (host- and device-resident sources) before protocol dispatch.
+  if (req->rts_sent > 0) {
+    obs::observe(proc_.config().recorder, "pml.rts_to_cts_ns",
+                 m.arrival - req->rts_sent);
+  }
   if (req->space.space == sg::MemorySpace::kDevice) {
     proc_.runtime().gpu_plugin()->send_on_cts(proc_, *req, cts, m.arrival);
     return;
@@ -347,6 +363,25 @@ void Pml::on_frag(AmMessage& m) {
     throw std::runtime_error("PML: fragment for unknown recv request");
   std::span<const std::byte> data(m.payload.data() + sizeof(FragHeader),
                                   static_cast<std::size_t>(h.bytes));
+  // Per-fragment rendezvous latencies, for host and device destinations
+  // alike (the plugin path below shares this bookkeeping).
+  {
+    obs::Recorder* rec = proc_.config().recorder;
+    obs::count(rec, "pml.frags");
+    obs::count(rec, "pml.frag.bytes", h.bytes);
+    if (req->first_frag_arrival == 0) {
+      req->first_frag_arrival = m.arrival;
+      if (req->cts_sent > 0)
+        obs::observe(rec, "pml.cts_to_first_frag_ns",
+                     m.arrival - req->cts_sent);
+    } else if (m.arrival >= req->last_frag_arrival) {
+      obs::observe(rec, "pml.frag_gap_ns",
+                   m.arrival - req->last_frag_arrival);
+    }
+    req->last_frag_arrival = m.arrival;
+    obs::trace(rec, {"frag", "pml", m.arrival, m.arrival, proc_.rank(),
+                     h.bytes});
+  }
   if (req->space.space == sg::MemorySpace::kDevice) {
     proc_.runtime().gpu_plugin()->recv_on_frag(proc_, *req, h, data,
                                                m.arrival);
@@ -362,6 +397,9 @@ void Pml::on_frag(AmMessage& m) {
         req->bytes_received != req->cursor.bytes_consumed())
       throw std::runtime_error("PML: fragment stream size mismatch");
     req->total_bytes = req->bytes_received;
+    if (req->cts_sent > 0)
+      obs::observe(proc_.config().recorder, "pml.cts_to_last_frag_ns",
+                   m.arrival - req->cts_sent);
     complete_recv(*req);
   }
 }
@@ -373,10 +411,16 @@ void Pml::on_fin(AmMessage& m) {
   if (f.to_sender) {
     SendRequest* req = find_send(f.req_id);
     if (req == nullptr) throw std::runtime_error("PML: fin for unknown send");
+    if (req->rts_sent > 0)
+      obs::observe(proc_.config().recorder, "pml.rts_to_fin_ns",
+                   m.arrival - req->rts_sent);
     complete_send(*req);
   } else {
     RecvRequest* req = find_recv(f.req_id);
     if (req == nullptr) throw std::runtime_error("PML: fin for unknown recv");
+    if (req->cts_sent > 0)
+      obs::observe(proc_.config().recorder, "pml.cts_to_fin_ns",
+                   m.arrival - req->cts_sent);
     complete_recv(*req);
   }
 }

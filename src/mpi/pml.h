@@ -136,6 +136,9 @@ struct SendRequest {
   BlockCursor cursor;
   std::uint64_t peer_recv_id = 0;
 
+  // Rendezvous latency bookkeeping (virtual time; 0 = not applicable).
+  vt::Time rts_sent = 0;
+
   // GPU-path state.
   std::unique_ptr<PluginState> plugin;
 };
@@ -158,6 +161,11 @@ struct RecvRequest {
   // Host-path state.
   BlockCursor cursor;
   std::int64_t bytes_received = 0;
+
+  // Rendezvous latency bookkeeping (virtual time; 0 = not applicable).
+  vt::Time cts_sent = 0;
+  vt::Time first_frag_arrival = 0;
+  vt::Time last_frag_arrival = 0;
 
   // GPU-path state.
   std::unique_ptr<PluginState> plugin;

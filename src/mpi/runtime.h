@@ -24,6 +24,10 @@
 #include "simgpu/runtime.h"
 #include "vtime/vclock.h"
 
+namespace gpuddt::obs {
+class Recorder;
+}
+
 namespace gpuddt::mpi {
 
 class Runtime;
@@ -95,6 +99,11 @@ struct RuntimeConfig {
   /// Real-time guard: a blocking progress loop that sees no traffic for
   /// this many milliseconds aborts the run (deadlock detector for tests).
   int progress_timeout_ms = 30000;
+
+  /// Optional observability sink shared by every rank (counters,
+  /// histograms, trace events; see obs/recorder.h). Nullable - the
+  /// runtime is silent when unset. Thread-safe by construction.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Per-rank context. All of a rank's protocol state is mutated only from

@@ -1,0 +1,76 @@
+// Minimal JSON support for the metrics dumps.
+//
+// The writer side lives in Recorder::to_json(); this header provides the
+// string escaping it needs plus a small recursive-descent parser used by
+// tools/metrics_diff and the tests that validate --metrics-out output.
+// The parser handles the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null) - enough to read back anything the
+// exporter writes, with no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpuddt::obs::json {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), num_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return *arr_; }
+  const Object& as_object() const { return *obj_; }
+
+  /// Object member access; throws when missing or not an object.
+  const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool contains(const std::string& key) const;
+  /// Dotted-path lookup through nested objects ("counters.dev_cache.hits"
+  /// is NOT split - metric names contain dots - so this splits only on
+  /// the first level: use at() chains for deeper access).
+  const Value* find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error with a byte
+/// offset on malformed input.
+Value parse(std::string_view text);
+
+/// Escape a string for embedding between double quotes.
+std::string escape(std::string_view s);
+
+}  // namespace gpuddt::obs::json

@@ -1,0 +1,93 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace gpuddt::obs {
+
+namespace {
+
+std::size_t bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+}  // namespace
+
+std::int64_t Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  const auto target = static_cast<std::int64_t>(
+      q * static_cast<double>(count - 1));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > target) {
+      if (i == 0) return 0;
+      const std::int64_t hi = i >= 63 ? max : (std::int64_t{1} << i) - 1;
+      return std::min(hi, max);
+    }
+  }
+  return max;
+}
+
+void Histogram::record(std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.count == 0) {
+    s_.min = s_.max = value;
+  } else {
+    s_.min = std::min(s_.min, value);
+    s_.max = std::max(s_.max, value);
+  }
+  ++s_.count;
+  s_.sum += value;
+  ++s_.buckets[bucket_of(value)];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s_;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, std::int64_t> Registry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> Registry::histograms_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h->snapshot());
+  return out;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace gpuddt::obs

@@ -1,0 +1,103 @@
+#include "obs/recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace gpuddt::obs {
+
+namespace {
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Recorder::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"gpuddt-metrics-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : metrics_.counters_snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json::escape(name) + "\": ";
+    append_int(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : metrics_.histograms_snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json::escape(name) + "\": {\"count\": ";
+    append_int(out, h.count);
+    out += ", \"sum\": ";
+    append_int(out, h.sum);
+    out += ", \"min\": ";
+    append_int(out, h.min);
+    out += ", \"max\": ";
+    append_int(out, h.max);
+    out += ", \"mean\": ";
+    append_double(out, h.mean());
+    out += ", \"p50\": ";
+    append_int(out, h.quantile(0.5));
+    out += ", \"p99\": ";
+    append_int(out, h.quantile(0.99));
+    out += ", \"buckets\": [";
+    // Trailing zero buckets carry no information; trim them.
+    std::size_t last = Histogram::kBuckets;
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (std::size_t i = 0; i < last; ++i) {
+      if (i > 0) out += ", ";
+      append_int(out, h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"trace\": {\"dropped\": ";
+  append_int(out, trace_.dropped());
+  out += ", \"events\": [";
+  first = true;
+  for (const auto& ev : trace_.snapshot()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json::escape(ev.name) + "\", \"cat\": \"" +
+           json::escape(ev.cat) + "\", \"begin\": ";
+    append_int(out, ev.begin);
+    out += ", \"end\": ";
+    append_int(out, ev.end);
+    out += ", \"tid\": ";
+    append_int(out, ev.tid);
+    out += ", \"arg0\": ";
+    append_int(out, ev.arg0);
+    out += "}";
+  }
+  out += first ? "]}\n}\n" : "\n  ]}\n}\n";
+  return out;
+}
+
+bool Recorder::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Recorder& default_recorder() {
+  static Recorder rec;
+  return rec;
+}
+
+}  // namespace gpuddt::obs

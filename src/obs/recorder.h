@@ -1,0 +1,66 @@
+// Recorder - the observability layer's front door.
+//
+// Bundles a metrics Registry and a TraceBuffer and serializes both as one
+// JSON document (schema: docs/metrics.md, `gpuddt-metrics-v1`). Producers
+// (the GPU datatype engine, the DEV cache, the PML, the GPU transfer
+// plugin) take a nullable Recorder* and record nothing when it is null,
+// so unit tests attach private recorders and production paths pay one
+// branch when observability is off.
+//
+// The process-global default_recorder() is what the harness attaches to
+// runs that did not bring their own, and what the bench binaries dump
+// with --metrics-out=FILE.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gpuddt::obs {
+
+class Recorder {
+ public:
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  void enable_tracing(bool on = true) { trace_.enable(on); }
+  bool tracing() const { return trace_.enabled(); }
+
+  /// Serialize counters, histograms and (if any) trace events as one
+  /// JSON document.
+  std::string to_json() const;
+
+  /// to_json() into `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Drop all recorded data (between benchmark repetitions).
+  void clear() {
+    metrics_.clear();
+    trace_.clear();
+  }
+
+ private:
+  Registry metrics_;
+  TraceBuffer trace_;
+};
+
+/// Process-wide recorder used whenever a run does not provide its own.
+Recorder& default_recorder();
+
+/// Shorthand for guarded recording at instrumentation sites.
+inline void count(Recorder* rec, std::string_view name,
+                  std::int64_t delta = 1) {
+  if (rec != nullptr) rec->metrics().counter(name).add(delta);
+}
+inline void observe(Recorder* rec, std::string_view name,
+                    std::int64_t value) {
+  if (rec != nullptr) rec->metrics().histogram(name).record(value);
+}
+inline void trace(Recorder* rec, TraceEvent ev) {
+  if (rec != nullptr) rec->trace().record(std::move(ev));
+}
+
+}  // namespace gpuddt::obs

@@ -1,0 +1,61 @@
+// Trace events on the virtual clock.
+//
+// The observability layer's qualitative half: when tracing is enabled,
+// instrumented stages (DEV conversion chunks, descriptor uploads, kernel
+// launches, pipeline fragments) append one interval event each, stamped
+// with virtual begin/end times. Because every producer already carries a
+// virtual clock, the collected events replay as an exact timeline of one
+// pack op or one pipelined transfer - the same evidence Figure 5 of the
+// paper sketches by hand.
+//
+// Disabled tracing is a single relaxed atomic load per call site; the
+// buffer is bounded so runaway benchmarks cannot exhaust memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpuddt::obs {
+
+struct TraceEvent {
+  std::string name;       // stage ("convert", "kernel", "frag", ...)
+  std::string cat;        // subsystem ("engine", "pml", ...)
+  std::int64_t begin = 0; // virtual ns
+  std::int64_t end = 0;   // virtual ns
+  std::int32_t tid = -1;  // rank (pml events) or device (engine events)
+  std::int64_t arg0 = 0;  // stage-specific (bytes, unit count, frag index)
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable(bool on = true) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Append one event; no-op when disabled or full. `dropped()` reports
+  /// how many events the cap swallowed, so a truncated trace is never
+  /// mistaken for a complete one.
+  void record(TraceEvent ev);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+ private:
+  const std::size_t max_events_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gpuddt::obs

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/recorder.h"
+
 namespace gpuddt::proto {
 
 namespace {
@@ -53,6 +55,7 @@ core::EngineConfig engine_config(const mpi::RuntimeConfig& cfg) {
   e.cache_enabled = cfg.dev_cache_enabled;
   e.kernel_blocks = cfg.gpu_kernel_blocks;
   e.pipeline_conversion = cfg.dev_pipeline_conversion;
+  e.recorder = cfg.recorder;
   return e;
 }
 
@@ -237,6 +240,7 @@ void GpuDatatypePlugin::send_start(mpi::Process& p, mpi::SendRequest& req) {
                                    static_cast<std::size_t>(req.total_bytes)),
         ready);
     sg::HostFree(p.gpu(), bounce);
+    obs::count(cfg.recorder, "gpu.sends.eager");
     p.pml().complete_send(req);
     return;
   }
@@ -279,6 +283,8 @@ void GpuDatatypePlugin::send_start(mpi::Process& p, mpi::SendRequest& req) {
   }
   req.plugin = std::move(st);
   p.am_send(req.env.dst, mpi::Pml::rts_handler(), make_payload(rts));
+  req.rts_sent = p.clock().now();
+  obs::count(cfg.recorder, "gpu.sends.rendezvous");
 }
 
 void GpuDatatypePlugin::send_on_cts(mpi::Process& p, mpi::SendRequest& req,
@@ -493,6 +499,8 @@ void GpuDatatypePlugin::recv_start(mpi::Process& p, mpi::RecvRequest& req,
     cts.mode = TransferMode::kHostFrags;
     cts.frag_bytes = static_cast<std::int64_t>(cfg.frag_bytes);
     p.am_send(rts.env.src, mpi::Pml::cts_handler(), make_payload(cts));
+    req.cts_sent = p.clock().now();
+    obs::count(cfg.recorder, "gpu.mode.host_frags");
     return;
   }
 
@@ -530,6 +538,8 @@ void GpuDatatypePlugin::recv_start(mpi::Process& p, mpi::RecvRequest& req,
     cts.depth = cfg.gpu_pipeline_depth;
     req.plugin = std::move(st);
     p.am_send(rts.env.src, mpi::Pml::cts_handler(), make_payload(cts));
+    req.cts_sent = p.clock().now();
+    obs::count(cfg.recorder, "gpu.mode.host_frags");
     return;
   }
 
@@ -541,6 +551,7 @@ void GpuDatatypePlugin::recv_start(mpi::Process& p, mpi::RecvRequest& req,
     st->frag_bytes = rts.frag_bytes;
     st->depth = rts.depth;
     req.plugin = std::move(st);
+    obs::count(cfg.recorder, "gpu.mode.rdma_recv_driven");
     drive_recv_from_contiguous(p, req, arrival);
     return;
   }
@@ -561,6 +572,8 @@ void GpuDatatypePlugin::recv_start(mpi::Process& p, mpi::RecvRequest& req,
     ++pr.stats.rdma_pack_remote;
     pr.stats.bytes_received += rts.total_bytes;
     p.am_send(rts.env.src, mpi::Pml::cts_handler(), make_payload(cts));
+    req.cts_sent = p.clock().now();
+    obs::count(cfg.recorder, "gpu.mode.rdma_pack_remote");
     return;  // completion arrives as a fin
   }
 
@@ -595,6 +608,8 @@ void GpuDatatypePlugin::recv_start(mpi::Process& p, mpi::RecvRequest& req,
   }
   req.plugin = std::move(st);
   p.am_send(rts.env.src, mpi::Pml::cts_handler(), make_payload(cts));
+  req.cts_sent = p.clock().now();
+  obs::count(cfg.recorder, "gpu.mode.ipc_rdma");
 }
 
 void GpuDatatypePlugin::drive_recv_from_contiguous(mpi::Process& p,
@@ -736,6 +751,26 @@ void GpuDatatypePlugin::on_frag_ready(mpi::Process& p, mpi::AmMessage& m) {
                                    st->last_ready});
     }
   }
+  {
+    // The pipelined-RDMA fragments bypass Pml::on_frag, so the per-frag
+    // rendezvous latencies are recorded here.
+    obs::Recorder* rec = p.config().recorder;
+    obs::count(rec, "pml.frags");
+    obs::count(rec, "pml.frag.bytes", h.bytes);
+    if (req->first_frag_arrival == 0) {
+      req->first_frag_arrival = m.arrival;
+      if (req->cts_sent > 0)
+        obs::observe(rec, "pml.cts_to_first_frag_ns",
+                     m.arrival - req->cts_sent);
+    } else if (m.arrival >= req->last_frag_arrival) {
+      obs::observe(rec, "pml.frag_gap_ns",
+                   m.arrival - req->last_frag_arrival);
+    }
+    req->last_frag_arrival = m.arrival;
+    obs::observe(rec, "gpu.frag.unpack_ns", st->last_ready - m.arrival);
+    obs::trace(rec, {"rdma_frag", "gpu", m.arrival, st->last_ready,
+                     p.rank(), h.bytes});
+  }
 
   FragFreeHeader ack;
   ack.send_id = st->send_id;
@@ -810,6 +845,12 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
           FragTrace{hdr.offset / std::max<std::int64_t>(1, st->frag_bytes),
                     arrival, arrival, st->last_ready});
     }
+    // Arrival gaps were recorded by Pml::on_frag before dispatching here;
+    // add the device-side unpack latency of this fragment.
+    obs::observe(p.config().recorder, "gpu.frag.unpack_ns",
+                 st->last_ready - arrival);
+    obs::trace(p.config().recorder, {"host_frag_unpack", "gpu", arrival,
+                                     st->last_ready, p.rank(), hdr.bytes});
   }
 
   if (hdr.last) {

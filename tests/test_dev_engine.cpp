@@ -8,6 +8,7 @@
 #include "core/engine.h"
 #include "core/kernels.h"
 #include "core/layouts.h"
+#include "obs/recorder.h"
 #include "test_helpers.h"
 
 namespace gpuddt::core {
@@ -123,6 +124,45 @@ TEST(DevCache, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.find(b, 1, 1024), nullptr);  // b was the LRU victim
   EXPECT_NE(cache.find(a, 1, 1024), nullptr);
+}
+
+TEST(DevCache, CountsEvictionsAndKeepsLruOrder) {
+  // After the O(1)-touch refactor (iterators stored in the entry map, hits
+  // promoted via splice), the recency order and the eviction counter must
+  // both stay exact.
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  DevCache cache(3);
+  auto a = core::lower_triangular_type(8, 8);
+  auto b = core::lower_triangular_type(9, 9);
+  auto c = core::lower_triangular_type(10, 10);
+  auto d = core::lower_triangular_type(11, 11);
+  cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));
+  cache.insert(ctx, c, 1, 1024, convert_all(c, 1, 1024));
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.lru_type_ids(),
+            (std::vector<std::uint64_t>{c->type_id(), b->type_id(),
+                                        a->type_id()}));
+  EXPECT_NE(cache.find(a, 1, 1024), nullptr);  // promote a
+  EXPECT_NE(cache.find(b, 1, 1024), nullptr);  // promote b
+  EXPECT_EQ(cache.lru_type_ids(),
+            (std::vector<std::uint64_t>{b->type_id(), a->type_id(),
+                                        c->type_id()}));
+  cache.insert(ctx, d, 1, 1024, convert_all(d, 1, 1024));  // evicts c
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(c, 1, 1024), nullptr);
+  EXPECT_EQ(cache.lru_type_ids(),
+            (std::vector<std::uint64_t>{d->type_id(), b->type_id(),
+                                        a->type_id()}));
+  // Re-inserting an existing key only touches it; nothing is evicted.
+  cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lru_type_ids(),
+            (std::vector<std::uint64_t>{b->type_id(), d->type_id(),
+                                        a->type_id()}));
 }
 
 // --- Kernels: functional + profile shape -----------------------------------------------
@@ -352,6 +392,54 @@ TEST_F(EngineTest, SecondPackHitsCache) {
   EXPECT_TRUE(op->used_cache());
 }
 
+TEST_F(EngineTest, CachedUnitsCountedAcrossWindows) {
+  // Regression for the units_from_cache accounting: the counter used to be
+  // bumped once per process_some call, after the window loop, from the
+  // contents of the last ws_ window. It must equal the total number of
+  // window entries served from the cache - including units split across
+  // budget boundaries, which legitimately count once per window they
+  // appear in.
+  GpuDatatypeEngine eng(ctx);
+  auto dt = core::lower_triangular_type(64, 64);
+  run_roundtrip(ctx, eng, dt, 1, 8192);  // fills the cache
+  ASSERT_GE(eng.cache().size(), 1u);
+
+  // Replay the budget-trimming walk on the host units to get the exact
+  // expected per-window entry count.
+  const auto units = convert_all(dt, 1, 1024);
+  const std::int64_t frag = 1000;  // odd: forces unit splits
+  std::int64_t expected = 0, windows = 0;
+  std::size_t pos = 0;
+  std::int64_t off = 0;
+  while (pos < units.size()) {
+    std::int64_t budget = frag;
+    ++windows;
+    while (pos < units.size() && budget > 0) {
+      const std::int64_t take = std::min(units[pos].length - off, budget);
+      ++expected;
+      budget -= take;
+      off += take;
+      if (off == units[pos].length) {
+        off = 0;
+        ++pos;
+      }
+    }
+  }
+  ASSERT_GT(windows, 1);
+
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 64 * 64 * 8));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  const std::int64_t before = eng.stats().units_from_cache;
+  auto op = eng.start(Dir::kPack, dt, 1, src);
+  ASSERT_TRUE(op->used_cache());
+  while (!op->done()) {
+    const auto r = eng.process_some(*op, packed + op->bytes_done(), frag);
+    if (r.bytes == 0) break;
+  }
+  eng.finish(*op);
+  EXPECT_EQ(eng.stats().units_from_cache - before, expected);
+}
+
 TEST_F(EngineTest, CacheDisabledNeverCaches) {
   EngineConfig cfg;
   cfg.cache_enabled = false;
@@ -437,6 +525,78 @@ TEST_F(EngineTest, ResidueStreamVariantIsCorrect) {
   run_roundtrip(ctx, eng, core::transpose_type(24, 24), 1, 4096);
 }
 
+TEST_F(EngineTest, ResidueSplitMatchesSingleStreamByteForByte) {
+  // The residue-stream variant partitions each window into full units and
+  // residues before launching; the packed stream must nevertheless be
+  // byte-identical to the single-stream path, cold and cached alike.
+  auto dt = core::lower_triangular_type(96, 120);
+  const std::int64_t span = test::span_bytes(dt, 1);
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, span));
+  test::fill_pattern(src, static_cast<std::size_t>(span), 21);
+  std::byte* base = src - dt->true_lb();
+
+  auto* out_plain = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  auto* out_split = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  auto pack_with = [&](GpuDatatypeEngine& eng, std::byte* out,
+                       std::int64_t frag) {
+    std::memset(out, 0, static_cast<std::size_t>(dt->size()));
+    auto op = eng.start(Dir::kPack, dt, 1, base);
+    while (!op->done()) {
+      const auto r = eng.process_some(*op, out + op->bytes_done(), frag);
+      if (r.bytes == 0) break;
+    }
+    eng.finish(*op);
+  };
+
+  EngineConfig plain_cfg;
+  EngineConfig split_cfg;
+  split_cfg.residue_separate_stream = true;
+  GpuDatatypeEngine plain(ctx, plain_cfg);
+  GpuDatatypeEngine split(ctx, split_cfg);
+  // Cold pass (converting) and cached pass, with an odd fragment size so
+  // windows end mid-unit.
+  for (const std::int64_t frag : {std::int64_t{3000}, std::int64_t{3000},
+                                  dt->size()}) {
+    pack_with(plain, out_plain, frag);
+    pack_with(split, out_split, frag);
+    EXPECT_EQ(std::memcmp(out_plain, out_split,
+                          static_cast<std::size_t>(dt->size())),
+              0);
+  }
+}
+
+TEST_F(EngineTest, ResidueSplitUploadsSplitOrderedDescriptors) {
+  // Regression: the residue-stream path used to hand both launches a
+  // device descriptor array laid out in ws_ order (or, when cached, the
+  // cache's original-geometry array), while the host spans were reordered
+  // full-first - so device-side descriptor indices no longer matched the
+  // host span. The fix uploads the split-ordered descriptors, which is
+  // observable as descriptor-upload traffic even on the cached path
+  // (previously zero).
+  obs::Recorder rec;
+  EngineConfig cfg;
+  cfg.residue_separate_stream = true;
+  cfg.recorder = &rec;
+  GpuDatatypeEngine eng(ctx, cfg);
+  auto dt = core::lower_triangular_type(64, 64);
+  run_roundtrip(ctx, eng, dt, 1, 8192);  // fills the cache
+  ASSERT_GE(eng.cache().size(), 1u);
+
+  auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 64 * 64 * 8));
+  auto* packed = static_cast<std::byte*>(sg::Malloc(ctx, dt->size()));
+  const std::int64_t uploads_before =
+      rec.metrics().counter("engine.desc_uploads").value();
+  auto op = eng.start(Dir::kPack, dt, 1, src);
+  ASSERT_TRUE(op->used_cache());
+  while (!op->done()) {
+    const auto r = eng.process_some(*op, packed + op->bytes_done(), 4096);
+    if (r.bytes == 0) break;
+  }
+  eng.finish(*op);
+  EXPECT_GT(rec.metrics().counter("engine.desc_uploads").value(),
+            uploads_before);
+}
+
 TEST_F(EngineTest, ResidueStreamCostsExtraLaunches) {
   // The paper treats residues like full units "to launch a single kernel
   // and therefore minimize launching overhead"; the alternative must
@@ -507,6 +667,56 @@ TEST(Prefetch, ChargesConversionTime) {
   const vt::Time t1 = ctx.clock.now();
   eng.prefetch(dt, 1);
   EXPECT_EQ(ctx.clock.now(), t1);
+}
+
+TEST(Prefetch, ChargesWalkPerPieceVisited) {
+  // Regression: prefetch used to charge cpu_block_walk_ns per emitted
+  // *unit* instead of per datatype piece visited, overstating the host
+  // conversion cost whenever long contiguous pieces split into several
+  // units (the convert_chunk path has always charged per piece).
+  auto dt = core::lower_triangular_type(512, 512);
+  DevCursor ref(dt, 1, 1024);
+  std::size_t units_n = 0;
+  CudaDevDist buf[256];
+  for (;;) {
+    const std::size_t n = ref.next_units(buf);
+    if (n == 0) break;
+    units_n += n;
+  }
+  const std::int64_t pieces = ref.pieces_visited();
+  // Long triangular rows split at the 1KB unit size, so there are more
+  // units than pieces - the configuration where the two formulas differ.
+  ASSERT_GT(static_cast<std::int64_t>(units_n), pieces);
+
+  // The device upload that prefetch also performs, measured on its own
+  // machine so PCIe accounting cannot bleed between the measurements.
+  vt::Time upload = 0;
+  {
+    sg::Machine m{test::machine_config(1, 128u << 20)};
+    sg::HostContext ctx(m, 0);
+    DevCache cache;
+    const auto* e = cache.insert(ctx, dt, 1, 1024, convert_all(dt, 1, 1024));
+    const vt::Time t0 = ctx.clock.now();
+    cache.device_units(ctx, *e);
+    upload = ctx.clock.now() - t0;
+  }
+
+  sg::Machine m{test::machine_config(1, 128u << 20)};
+  sg::HostContext ctx(m, 0);
+  GpuDatatypeEngine eng(ctx);
+  const sg::CostModel& cm = ctx.cost();
+  const vt::Time t0 = ctx.clock.now();
+  eng.prefetch(dt, 1);
+  const vt::Time elapsed = ctx.clock.now() - t0;
+
+  const auto conv = static_cast<vt::Time>(
+      cm.cpu_dev_emit_ns * static_cast<double>(units_n) +
+      cm.cpu_block_walk_ns * static_cast<double>(pieces));
+  const auto old_formula = static_cast<vt::Time>(
+      cm.cpu_dev_emit_ns * static_cast<double>(units_n) +
+      cm.cpu_block_walk_ns * static_cast<double>(units_n));
+  ASSERT_NE(conv, old_formula);  // the fix is observable on this type
+  EXPECT_EQ(elapsed, conv + upload);
 }
 
 TEST(Prefetch, SkipsVectorFastPath) {

@@ -1,0 +1,169 @@
+// Tests for the observability layer (src/obs): metrics registry,
+// histograms, trace buffer, JSON writer/parser, and the end-to-end dump
+// that --metrics-out produces.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace gpuddt::obs {
+namespace {
+
+TEST(Counter, AccumulatesAtomically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  a.add(7);
+  EXPECT_EQ(reg.counter("x").value(), 7);
+  EXPECT_EQ(&reg.counter("x"), &a);
+  EXPECT_NE(&reg.counter("y"), &a);
+  EXPECT_EQ(&reg.histogram("h"), &reg.histogram("h"));
+}
+
+TEST(Histogram, TracksMomentsAndQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_EQ(s.sum, 5050);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Log2 buckets: quantiles land on bucket upper bounds, so p50 of
+  // 1..100 is somewhere in [32, 127] and p99 at or above 64.
+  EXPECT_GE(s.quantile(0.5), 32.0);
+  EXPECT_LE(s.quantile(0.5), 127.0);
+  EXPECT_GE(s.quantile(0.99), 64.0);
+}
+
+TEST(Histogram, EmptySnapshotIsInert) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(TraceBuffer, DisabledByDefaultAndBounded) {
+  TraceBuffer buf(4);
+  buf.record({"e", "c", 0, 1, 0, 0});
+  EXPECT_EQ(buf.snapshot().size(), 0u);  // tracing off: no-op
+  buf.enable(true);
+  for (int i = 0; i < 6; ++i)
+    buf.record({"e", "c", i, i + 1, 0, 0});
+  EXPECT_EQ(buf.snapshot().size(), 4u);
+  EXPECT_EQ(buf.dropped(), 2);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  const auto v = json::parse(
+      R"({"a": [1, 2.5, -3], "s": "hi\nthere", "t": true, "n": null,)"
+      R"( "o": {"k": 7}})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_double(), 2.5);
+  EXPECT_EQ(v.at("a").as_array()[2].as_int(), -3);
+  EXPECT_EQ(v.at("s").as_string(), "hi\nthere");
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_EQ(v.at("n").kind(), json::Value::Kind::kNull);
+  EXPECT_EQ(v.at("o").at("k").as_int(), 7);
+  EXPECT_TRUE(v.contains("o"));
+  EXPECT_FALSE(v.contains("missing"));
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(json::parse("{} trailing"), std::runtime_error);
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const auto v = json::parse("\"" + json::escape(nasty) + "\"");
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+TEST(Recorder, ToJsonRoundTrips) {
+  Recorder rec;
+  rec.metrics().counter("engine.pack.bytes.dev").add(4096);
+  rec.metrics().counter("dev_cache.hits").add(3);
+  for (int i = 0; i < 10; ++i)
+    rec.metrics().histogram("pml.rts_to_cts_ns").record(1000 + i);
+  rec.enable_tracing(true);
+  rec.trace().record({"dev_kernel", "engine", 10, 20, 0, 64});
+
+  const auto doc = json::parse(rec.to_json());
+  EXPECT_EQ(doc.at("schema").as_string(), "gpuddt-metrics-v1");
+  EXPECT_EQ(doc.at("counters").at("engine.pack.bytes.dev").as_int(), 4096);
+  EXPECT_EQ(doc.at("counters").at("dev_cache.hits").as_int(), 3);
+  const auto& h = doc.at("histograms").at("pml.rts_to_cts_ns");
+  EXPECT_EQ(h.at("count").as_int(), 10);
+  EXPECT_EQ(h.at("min").as_int(), 1000);
+  EXPECT_EQ(h.at("max").as_int(), 1009);
+  EXPECT_GT(h.at("mean").as_double(), 999.0);
+  const auto& events = doc.at("trace").at("events").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), "dev_kernel");
+  EXPECT_EQ(events[0].at("begin").as_int(), 10);
+  EXPECT_EQ(events[0].at("end").as_int(), 20);
+}
+
+TEST(Recorder, WriteJsonProducesParsableFile) {
+  Recorder rec;
+  rec.metrics().counter("a.b").add(1);
+  rec.metrics().histogram("c.d").record(5);
+  const std::string path =
+      ::testing::TempDir() + "/gpuddt_metrics_test.json";
+  ASSERT_TRUE(rec.write_json(path));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::parse(ss.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "gpuddt-metrics-v1");
+  EXPECT_EQ(doc.at("counters").at("a.b").as_int(), 1);
+  EXPECT_EQ(doc.at("histograms").at("c.d").at("count").as_int(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(Recorder, ClearDropsEverything) {
+  Recorder rec;
+  rec.metrics().counter("x").add(9);
+  rec.metrics().histogram("y").record(2);
+  rec.clear();
+  const auto doc = json::parse(rec.to_json());
+  EXPECT_TRUE(doc.at("counters").as_object().empty());
+  EXPECT_TRUE(doc.at("histograms").as_object().empty());
+}
+
+TEST(Recorder, GuardedHelpersIgnoreNull) {
+  // The instrumentation sites pass nullable pointers; null must be a
+  // silent no-op (production default).
+  count(nullptr, "anything", 5);
+  observe(nullptr, "anything", 5);
+  trace(nullptr, {"e", "c", 0, 1, 0, 0});
+  Recorder rec;
+  count(&rec, "c", 2);
+  observe(&rec, "h", 3);
+  EXPECT_EQ(rec.metrics().counter("c").value(), 2);
+  EXPECT_EQ(rec.metrics().histogram("h").snapshot().count, 1);
+}
+
+}  // namespace
+}  // namespace gpuddt::obs

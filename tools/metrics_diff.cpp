@@ -1,0 +1,121 @@
+// Diff / validate gpuddt metrics dumps (the --metrics-out JSON).
+//
+// Usage:
+//   metrics_diff A.json B.json
+//       Print counters and histogram means that changed between the two
+//       dumps (A = baseline, B = candidate), with absolute and relative
+//       deltas. Exits 0 whether or not anything changed.
+//   metrics_diff --validate FILE KEY...
+//       Parse FILE, check the schema marker, and require each KEY to be
+//       present as a counter or histogram. Exits 1 on any failure (used
+//       by the bench_metrics_validate CTest entry).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using gpuddt::obs::json::Value;
+
+Value load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return gpuddt::obs::json::parse(ss.str());
+}
+
+void check_schema(const Value& doc, const std::string& path) {
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != "gpuddt-metrics-v1") {
+    throw std::runtime_error(path + ": not a gpuddt-metrics-v1 dump");
+  }
+}
+
+int validate(const std::string& path, int nkeys, char** keys) {
+  const Value doc = load(path);
+  check_schema(doc, path);
+  const auto& counters = doc.at("counters").as_object();
+  const auto& histos = doc.at("histograms").as_object();
+  int missing = 0;
+  for (int i = 0; i < nkeys; ++i) {
+    const std::string key = keys[i];
+    if (counters.count(key) == 0 && histos.count(key) == 0) {
+      std::cerr << "missing metric: " << key << "\n";
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    std::cerr << path << ": " << missing << " required metric(s) missing\n";
+    return 1;
+  }
+  std::cout << path << ": ok (" << counters.size() << " counters, "
+            << histos.size() << " histograms)\n";
+  return 0;
+}
+
+void diff_section(const char* title, const gpuddt::obs::json::Object& a,
+                  const gpuddt::obs::json::Object& b,
+                  double (*value_of)(const Value&)) {
+  std::printf("== %s ==\n", title);
+  int shown = 0;
+  for (const auto& [name, bv] : b) {
+    const auto it = a.find(name);
+    const double vb = value_of(bv);
+    if (it == a.end()) {
+      std::printf("  + %-42s %14.0f\n", name.c_str(), vb);
+      ++shown;
+      continue;
+    }
+    const double va = value_of(it->second);
+    if (va == vb) continue;
+    const double rel = va != 0.0 ? (vb - va) / va * 100.0 : 0.0;
+    std::printf("  ~ %-42s %14.0f -> %-14.0f (%+.1f%%)\n", name.c_str(), va,
+                vb, rel);
+    ++shown;
+  }
+  for (const auto& [name, av] : a) {
+    if (b.find(name) == b.end()) {
+      std::printf("  - %-42s %14.0f\n", name.c_str(), value_of(av));
+      ++shown;
+    }
+  }
+  if (shown == 0) std::printf("  (no differences)\n");
+}
+
+int diff(const std::string& pa, const std::string& pb) {
+  const Value a = load(pa);
+  const Value b = load(pb);
+  check_schema(a, pa);
+  check_schema(b, pb);
+  diff_section("counters", a.at("counters").as_object(),
+               b.at("counters").as_object(),
+               [](const Value& v) { return v.as_double(); });
+  diff_section("histogram means", a.at("histograms").as_object(),
+               b.at("histograms").as_object(),
+               [](const Value& v) { return v.at("mean").as_double(); });
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 3 && std::strcmp(argv[1], "--validate") == 0) {
+      return validate(argv[2], argc - 3, argv + 3);
+    }
+    if (argc == 3) return diff(argv[1], argv[2]);
+  } catch (const std::exception& e) {
+    std::cerr << "metrics_diff: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "usage: metrics_diff A.json B.json\n"
+               "       metrics_diff --validate FILE KEY...\n";
+  return 2;
+}
