@@ -40,12 +40,16 @@ void run_stencil(benchmark::State& state, bool baseline) {
     const vt::Time t0 = p.clock().now();
     for (int it = 0; it < kIters; ++it) {
       std::vector<mpi::Request> reqs;
-      // One contiguous column halo and one vector row halo per direction.
-      reqs.push_back(comm.irecv(u, 1, column, peer, 4 * it));
-      reqs.push_back(
-          comm.isend(u + rows * 8, 1, column, peer, 4 * it));
-      reqs.push_back(comm.irecv(u + 8, 1, row, peer, 4 * it + 1));
-      reqs.push_back(comm.isend(u + 16, 1, row, peer, 4 * it + 1));
+      // One contiguous column halo and one vector row halo per direction,
+      // against the ld x (cols+2) column-major slab: receive into the
+      // ghost column (column 0) and ghost row (row 0), send the first
+      // interior column/row (column 1 / row 1). The ghost regions are
+      // disjoint from the interior ones, as MPI requires of buffers with
+      // in-flight overlapping operations.
+      reqs.push_back(comm.irecv(u + 8, 1, column, peer, 4 * it));
+      reqs.push_back(comm.isend(u + ld * 8 + 8, 1, column, peer, 4 * it));
+      reqs.push_back(comm.irecv(u + ld * 8, 1, row, peer, 4 * it + 1));
+      reqs.push_back(comm.isend(u + ld * 8 + 8, 1, row, peer, 4 * it + 1));
       comm.waitall(reqs);
     }
     if (p.rank() == 0) per_iter = (p.clock().now() - t0) / kIters;

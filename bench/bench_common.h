@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "baselines/mvapich_plugin.h"
+#include "check/config.h"
 #include "core/layouts.h"
 #include "harness/harness.h"
 #include "mpi/runtime.h"
@@ -74,12 +75,16 @@ inline void record(benchmark::State& state, vt::Time virtual_ns,
       static_cast<double>(payload_bytes) / (1 << 20));
 }
 
-/// Shared main: strips `--metrics-out=FILE` (and `--trace`) before handing
-/// the rest to google-benchmark, then dumps the process-global recorder
-/// (which the harness feeds when specs carry no recorder of their own) as
-/// JSON. Returns the usual benchmark exit status.
+/// Shared main: strips `--metrics-out=FILE`, `--trace`, `--check` and
+/// `--check-out=FILE` before handing the rest to google-benchmark, then
+/// dumps the process-global recorder (which the harness feeds when specs
+/// carry no recorder of their own) as JSON. `--check` turns the access
+/// checker on for every machine the run creates; `--check-out` also writes
+/// the gpuddt-check-v1 diagnostic report (docs/checking.md). Returns the
+/// usual benchmark exit status.
 inline int bench_main(int argc, char** argv) {
   std::string metrics_out;
+  std::string check_out;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -87,6 +92,11 @@ inline int bench_main(int argc, char** argv) {
       metrics_out = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       obs::default_recorder().enable_tracing(true);
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check::set_forced(true);
+    } else if (std::strncmp(argv[i], "--check-out=", 12) == 0) {
+      check::set_forced(true);
+      check_out = argv[i] + 12;
     } else {
       args.push_back(argv[i]);
     }
@@ -100,6 +110,13 @@ inline int bench_main(int argc, char** argv) {
     if (!obs::default_recorder().write_json(metrics_out)) {
       std::fprintf(stderr, "failed to write metrics to %s\n",
                    metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!check_out.empty()) {
+    if (!check::write_report(check_out)) {
+      std::fprintf(stderr, "failed to write check report to %s\n",
+                   check_out.c_str());
       return 1;
     }
   }

@@ -1,0 +1,69 @@
+// Enablement and the process-global diagnostic sink of the checking layer.
+//
+// Whether a Machine gets an access tracker attached resolves, in order:
+//   1. MachineConfig::check (0/1) - explicit per-machine setting wins, so
+//      tests can force checking on regardless of environment;
+//   2. set_forced() - a process-wide override (the bench --check flag);
+//   3. the GPUDDT_CHECK environment variable ("0"/"off"/"false" disable,
+//      anything else enables);
+//   4. the GPUDDT_CHECK build option (compile-time default, normally OFF).
+//
+// Diagnostics from every tracker and validator in the process land in one
+// sink: counted without bound, stored up to a cap, echoed to stderr up to
+// a smaller cap. report_json() serializes the sink (and the tracker
+// aggregate counters) as a `gpuddt-check-v1` document for
+// tools/check_report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/diagnostics.h"
+
+namespace gpuddt::check {
+
+/// The build/env/forced default, before any per-machine override.
+bool default_enabled();
+
+/// Resolve enablement for a machine whose config carries `machine_check`
+/// (-1 inherit / 0 off / 1 on).
+bool enabled_for(int machine_check);
+
+/// Process-wide override between config and environment (bench --check).
+void set_forced(std::optional<bool> forced);
+
+// --- Diagnostic sink --------------------------------------------------------
+
+/// Record a diagnostic: count it, store it (up to a cap) and echo it to
+/// stderr (up to a smaller cap). Thread-safe.
+void report(Diagnostic diag);
+
+/// Stored diagnostics (capped copy; counts below are exact).
+std::vector<Diagnostic> diagnostics();
+
+/// Exact totals since process start / the last clear.
+std::int64_t hazard_count();
+std::int64_t violation_count();
+
+/// Drop stored diagnostics and zero the totals (tests).
+void clear_diagnostics();
+
+// --- Tracker aggregate counters (all trackers in the process) ---------------
+
+void add_tracked(std::int64_t ops, std::int64_t ranges);
+void add_dropped(std::int64_t records);
+std::int64_t ops_tracked();
+std::int64_t ranges_tracked();
+std::int64_t records_dropped();
+
+// --- Report -----------------------------------------------------------------
+
+/// Serialize the sink as a `gpuddt-check-v1` JSON document.
+std::string report_json();
+
+/// report_json() into `path`; returns false on I/O failure.
+bool write_report(const std::string& path);
+
+}  // namespace gpuddt::check

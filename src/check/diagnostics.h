@@ -1,0 +1,39 @@
+// Structured diagnostics emitted by the checking layer (docs/checking.md).
+//
+// Both passes - the stream hazard detector (access_tracker.h) and the DEV
+// invariant checker (dev_invariants.h) - report findings as Diagnostic
+// records into a process-global sink (config.h). Tests read them back
+// programmatically; tools/check_report summarizes the JSON dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vtime/vclock.h"
+
+namespace gpuddt::check {
+
+/// One side of a hazard: which operation touched which bytes, when.
+struct AccessDesc {
+  std::string label;        // operation label ("memcpy_async", "pack_dev")
+  std::string queue;        // stream name / pointer, or "host"
+  std::uintptr_t ptr = 0;   // first byte of the conflicting overlap's range
+  std::int64_t len = 0;     // bytes of that range
+  vt::Time start = 0;       // guaranteed earliest start (virtual ns)
+  vt::Time finish = 0;      // guaranteed finish (virtual ns)
+  bool write = false;
+};
+
+struct Diagnostic {
+  std::string kind;     // "hazard" | "dev_invariant"
+  std::string type;     // "RAW"/"WAR"/"WAW", or the violated invariant
+  std::string message;  // human-readable one-liner
+  // Hazard specifics (kind == "hazard"); `a` happens-before-wise earlier.
+  AccessDesc a;
+  AccessDesc b;
+  int device = -1;
+  // DEV-invariant specifics (kind == "dev_invariant").
+  std::int64_t unit_index = -1;
+};
+
+}  // namespace gpuddt::check

@@ -1,7 +1,9 @@
 #include "core/dev_cache.h"
 
 #include <cstring>
+#include <span>
 
+#include "check/dev_invariants.h"
 #include "obs/recorder.h"
 
 namespace gpuddt::core {
@@ -46,6 +48,14 @@ const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
   if (it != entries_.end()) {
     touch(it->second);
     return it->second.entry.get();  // already present; keep existing copy
+  }
+  if (validate_ && count > 0) {
+    const std::int64_t tlb = dt->true_lb();
+    const check::DevListBounds b{
+        tlb, tlb + (count - 1) * dt->extent() + dt->true_extent(),
+        dt->size() * count, unit_bytes};
+    check::validate_dev_list(std::span<const CudaDevDist>(units), b,
+                             "dev_cache.insert");
   }
   auto entry = std::make_unique<Entry>();
   entry->total_bytes = 0;

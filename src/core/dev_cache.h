@@ -43,6 +43,12 @@ class DevCache {
   /// Mirror hit/miss/eviction/upload events into `rec` (nullable).
   void set_recorder(obs::Recorder* rec);
 
+  /// Validate every inserted unit list against the datatype's bounds
+  /// (check::validate_dev_list); throws check::InvariantViolation on a
+  /// corrupt list. Off by default; the engine wires it to its own
+  /// validate_devs setting.
+  void set_validation(bool on) { validate_ = on; }
+
   /// Look up a converted array; nullptr on miss.
   const Entry* find(const mpi::DatatypePtr& dt, std::int64_t count,
                     std::int64_t unit_bytes) const;
@@ -99,6 +105,7 @@ class DevCache {
   mutable std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   obs::Recorder* rec_ = nullptr;
+  bool validate_ = false;
 };
 
 }  // namespace gpuddt::core

@@ -3,21 +3,38 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/dev_invariants.h"
 #include "obs/recorder.h"
 
 namespace gpuddt::core {
 
+namespace {
+
+/// Bounds every DEV unit of (dt, count) must respect; see
+/// check::validate_dev_window.
+check::DevListBounds bounds_of(const mpi::Datatype& dt, std::int64_t count,
+                               std::int64_t unit_bytes) {
+  const std::int64_t tlb = dt.true_lb();
+  return {tlb, tlb + (count - 1) * dt.extent() + dt.true_extent(),
+          dt.size() * count, unit_bytes};
+}
+
+}  // namespace
+
 GpuDatatypeEngine::GpuDatatypeEngine(sg::HostContext& ctx, EngineConfig cfg)
     : ctx_(ctx),
       cfg_(cfg),
-      kernel_stream_(&ctx.dev()),
-      upload_stream_(&ctx.dev()),
-      residue_stream_(&ctx.dev()) {
+      kernel_stream_(&ctx.dev(), "engine.kernel"),
+      upload_stream_(&ctx.dev(), "engine.upload"),
+      residue_stream_(&ctx.dev(), "engine.residue") {
   if (cfg_.unit_bytes < kMinUnitBytes)
     throw std::invalid_argument("EngineConfig: unit_bytes below 256B floor");
   if (cfg_.convert_chunk_units == 0)
     throw std::invalid_argument("EngineConfig: zero conversion chunk");
   cache_.set_recorder(cfg_.recorder);
+  validate_ = cfg_.validate_devs >= 0 ? cfg_.validate_devs != 0
+                                      : ctx.machine->observer() != nullptr;
+  cache_.set_validation(validate_);
 }
 
 GpuDatatypeEngine::~GpuDatatypeEngine() = default;
@@ -147,18 +164,25 @@ void GpuDatatypeEngine::convert_chunk(Op& op, std::size_t limit) {
 const CudaDevDist* GpuDatatypeEngine::upload_descriptors(
     Op& op, std::span<const CudaDevDist> units) {
   if (units.empty()) return nullptr;
-  if (op.desc_cap_units_ < units.size()) {
-    if (op.desc_dev_ != nullptr) sg::Free(ctx_, op.desc_dev_);
-    op.desc_cap_units_ = std::max<std::size_t>(units.size(), 256);
-    op.desc_dev_ =
-        sg::Malloc(ctx_, op.desc_cap_units_ * sizeof(CudaDevDist));
+  const int slot = op.desc_slot_ ^ 1;
+  op.desc_slot_ = slot;
+  if (op.desc_cap_units_[slot] < units.size()) {
+    if (op.desc_dev_[slot] != nullptr) sg::Free(ctx_, op.desc_dev_[slot]);
+    op.desc_cap_units_[slot] = std::max<std::size_t>(units.size(), 256);
+    op.desc_dev_[slot] =
+        sg::Malloc(ctx_, op.desc_cap_units_[slot] * sizeof(CudaDevDist));
   }
+  // The kernel launched against this slot two windows ago may still be in
+  // flight; overwriting before it finishes would be a WAR hazard.
+  sg::StreamWaitEvent(ctx_, upload_stream_,
+                      sg::Event{op.desc_last_use_[slot]});
   // Upload on a dedicated stream; the kernel stream waits on it, so the
   // next conversion chunk (host) overlaps the current kernel (device).
   const auto bytes =
       static_cast<std::int64_t>(units.size() * sizeof(CudaDevDist));
   const vt::Time t0 = ctx_.clock.now();
-  const vt::Time done = sg::MemcpyAsync(ctx_, op.desc_dev_, units.data(),
+  const vt::Time done = sg::MemcpyAsync(ctx_, op.desc_dev_[slot],
+                                        units.data(),
                                         units.size() * sizeof(CudaDevDist),
                                         upload_stream_);
   sg::StreamWaitEvent(ctx_, kernel_stream_,
@@ -167,7 +191,7 @@ const CudaDevDist* GpuDatatypeEngine::upload_descriptors(
   obs::count(cfg_.recorder, "engine.desc_upload_bytes", bytes);
   obs::trace(cfg_.recorder,
              {"desc_upload", "engine", t0, done, ctx_.device, bytes});
-  return static_cast<const CudaDevDist*>(op.desc_dev_);
+  return static_cast<const CudaDevDist*>(op.desc_dev_[slot]);
 }
 
 GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
@@ -202,8 +226,11 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
     // Trim a window of units to the remaining budget.
     op.ws_.clear();
     const std::size_t first = op.unit_pos_;
+    const std::int64_t win_pk = pk_base + bytes;
+    std::int64_t distinct = 0;
     while (op.unit_pos_ < units->size() && bytes < budget) {
       const CudaDevDist& u = (*units)[op.unit_pos_];
+      if (op.unit_off_ == 0) ++distinct;  // first touch of this unit
       const std::int64_t avail = u.length - op.unit_off_;
       const std::int64_t take = std::min(avail, budget - bytes);
       op.ws_.push_back(CudaDevDist{u.nc_disp + op.unit_off_,
@@ -218,18 +245,33 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
     if (op.ws_.empty()) break;
     // Units served from the cache are counted per window, inside the
     // loop: a small per-call budget walks this loop many times, and each
-    // window's ws_ replaces the previous one.
+    // window's ws_ replaces the previous one. The companion _distinct
+    // counter ignores re-touches of a unit split across windows.
     if (cached) {
       stats_.units_from_cache += static_cast<std::int64_t>(op.ws_.size());
       obs::count(cfg_.recorder, "engine.units.from_cache",
                  static_cast<std::int64_t>(op.ws_.size()));
+      stats_.units_from_cache_distinct += distinct;
+      obs::count(cfg_.recorder, "engine.units.from_cache_distinct",
+                 distinct);
+    }
+    if (validate_ && op.count_ > 0) {
+      check::validate_dev_window(op.ws_,
+                                 bounds_of(*op.dt_, op.count_,
+                                           cfg_.unit_bytes),
+                                 win_pk, /*contiguous=*/true,
+                                 "engine.window");
     }
     if (!cfg_.residue_separate_stream) {
       const CudaDevDist* dev_units =
           cached ? op.cached_dev_ + first : upload_descriptors(op, op.ws_);
-      ready = std::max(
-          ready, launch(op, op.ws_, pk_base, contig, dev_units,
-                        kernel_stream_));
+      const vt::Time r =
+          launch(op, op.ws_, pk_base, contig, dev_units, kernel_stream_);
+      if (!cached) {
+        op.desc_last_use_[op.desc_slot_] =
+            std::max(op.desc_last_use_[op.desc_slot_], r);
+      }
+      ready = std::max(ready, r);
     } else {
       // The Section 3.2 alternative: full-size units in the main kernel,
       // residues delegated to a second (lower-priority) stream - one
@@ -250,19 +292,34 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
       const std::size_t n_full = split.size();
       for (const auto& u : op.ws_)
         if (u.length != cfg_.unit_bytes) split.push_back(u);
+      if (validate_ && op.count_ > 0) {
+        check::validate_dev_window(split,
+                                   bounds_of(*op.dt_, op.count_,
+                                             cfg_.unit_bytes),
+                                   win_pk, /*contiguous=*/false,
+                                   "engine.window.residue_split");
+      }
       const CudaDevDist* dev_split = upload_descriptors(op, split);
       sg::StreamWaitEvent(ctx_, residue_stream_,
                           sg::EventRecord(ctx_, upload_stream_));
       const std::span<const CudaDevDist> full(split.data(), n_full);
       const std::span<const CudaDevDist> residue(split.data() + n_full,
                                                  split.size() - n_full);
-      if (!full.empty())
-        ready = std::max(ready, launch(op, full, pk_base, contig, dev_split,
-                                       kernel_stream_));
-      if (!residue.empty())
-        ready = std::max(ready,
-                         launch(op, residue, pk_base, contig,
-                                dev_split + n_full, residue_stream_));
+      vt::Time slot_use = 0;
+      if (!full.empty()) {
+        const vt::Time r =
+            launch(op, full, pk_base, contig, dev_split, kernel_stream_);
+        slot_use = std::max(slot_use, r);
+        ready = std::max(ready, r);
+      }
+      if (!residue.empty()) {
+        const vt::Time r = launch(op, residue, pk_base, contig,
+                                  dev_split + n_full, residue_stream_);
+        slot_use = std::max(slot_use, r);
+        ready = std::max(ready, r);
+      }
+      op.desc_last_use_[op.desc_slot_] =
+          std::max(op.desc_last_use_[op.desc_slot_], slot_use);
     }
   }
   op.pos_ += bytes;
@@ -279,10 +336,13 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
 }
 
 void GpuDatatypeEngine::finish(Op& op) {
-  if (op.desc_dev_ != nullptr) {
-    sg::Free(ctx_, op.desc_dev_);
-    op.desc_dev_ = nullptr;
-    op.desc_cap_units_ = 0;
+  for (int slot = 0; slot < 2; ++slot) {
+    if (op.desc_dev_[slot] != nullptr) {
+      sg::Free(ctx_, op.desc_dev_[slot]);
+      op.desc_dev_[slot] = nullptr;
+      op.desc_cap_units_[slot] = 0;
+    }
+    op.desc_last_use_[slot] = 0;
   }
   if (op.conv_ns_ > 0) {
     obs::observe(cfg_.recorder, "engine.op.conv_overlap_pct",

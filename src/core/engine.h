@@ -52,6 +52,10 @@ struct EngineConfig {
   /// Nullable; the engine is silent when unset. Declared in obs/recorder.h
   /// (forward-declared via dev_cache.h).
   obs::Recorder* recorder = nullptr;
+  /// Validate every DEV window and cached list against the datatype's
+  /// bounds before launch (docs/checking.md). Tri-state: -1 follows the
+  /// machine's access checker (on when an observer is attached), 0/1 force.
+  int validate_devs = -1;
 };
 
 /// Counters the engine accumulates across operations.
@@ -59,6 +63,10 @@ struct EngineStats {
   std::int64_t kernels_launched = 0;
   std::int64_t units_converted = 0;   // host-side DEV conversions
   std::int64_t units_from_cache = 0;  // units served by the DEV cache
+  /// Distinct cached units touched: each unit counts once per op even when
+  /// a small per-call budget splits it across several windows, whereas
+  /// units_from_cache counts every window's worth.
+  std::int64_t units_from_cache_distinct = 0;
   std::int64_t bytes_packed = 0;
   std::int64_t bytes_unpacked = 0;
   std::int64_t vector_fast_path_ops = 0;
@@ -105,8 +113,14 @@ class GpuDatatypeEngine {
     std::vector<CudaDevDist> staged_;   // converted, not yet consumed
     std::vector<CudaDevDist> accum_;    // full list for cache fill
     bool fill_cache_ = false;
-    void* desc_dev_ = nullptr;          // device scratch for descriptors
-    std::size_t desc_cap_units_ = 0;
+    // Device scratch for descriptor uploads, double-buffered: while the
+    // kernel reading slot k is still in flight, the next window uploads
+    // into slot k^1. A single buffer would be a WAR hazard (the upload
+    // overwrites descriptors the previous kernel may still be reading).
+    void* desc_dev_[2] = {nullptr, nullptr};
+    std::size_t desc_cap_units_[2] = {0, 0};
+    vt::Time desc_last_use_[2] = {0, 0};  // last kernel finish per slot
+    int desc_slot_ = 0;                   // slot the latest upload used
     std::vector<CudaDevDist> ws_;       // per-launch trimmed window
     std::vector<CudaDevDist> split_;    // residue-stream split (full first)
     // Conversion/kernel overlap accounting (virtual time, per op).
@@ -175,6 +189,7 @@ class GpuDatatypeEngine {
   sg::Stream residue_stream_;  // used only with residue_separate_stream
   DevCache cache_;
   EngineStats stats_;
+  bool validate_ = false;  // resolved EngineConfig::validate_devs
 };
 
 }  // namespace gpuddt::core

@@ -1,10 +1,80 @@
 #include "core/kernels.h"
 
 #include <cstring>
+#include <vector>
 
 namespace gpuddt::core {
 
 namespace {
+
+/// Per-piece access ranges reported to the hazard detector. Only built when
+/// the machine has an observer attached; above the cap we fall back to one
+/// conservative spanning range per side (the tracker merges overlaps anyway).
+constexpr std::size_t kMaxKernelRanges = 4096;
+
+struct RangeBuilder {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::vector<sg::MemRange> ranges;
+  std::size_t last_src_ = kNone;
+  std::size_t last_dst_ = kNone;
+  const std::byte* src_lo = nullptr;
+  const std::byte* src_hi = nullptr;
+  std::byte* dst_lo = nullptr;
+  std::byte* dst_hi = nullptr;
+  bool spanning = false;
+
+  void add(const std::byte* src, std::byte* dst, std::int64_t len) {
+    if (len <= 0) return;
+    if (src_lo == nullptr || src < src_lo) src_lo = src;
+    if (src + len > src_hi) src_hi = src + len;
+    if (dst_lo == nullptr || dst < dst_lo) dst_lo = dst;
+    if (dst + len > dst_hi) dst_hi = dst + len;
+    add_one(last_src_, src, len, false);
+    add_one(last_dst_, dst, len, true);
+  }
+
+  // Extend the previously-pushed range of the same kind when the new piece
+  // is contiguous with it, so the sequential side of a pack/unpack (the
+  // packed buffer) collapses to one precise range instead of eating into
+  // the cap and forcing the lossy spanning fallback.
+  void add_one(std::size_t& last, const void* p, std::int64_t len,
+               bool write) {
+    if (spanning) return;
+    const auto* b = static_cast<const std::byte*>(p);
+    if (last != kNone) {
+      sg::MemRange& r = ranges[last];
+      if (b == static_cast<const std::byte*>(r.ptr) + r.len) {
+        r.len += len;
+        return;
+      }
+    }
+    if (ranges.size() + 1 > kMaxKernelRanges) {
+      spanning = true;
+      ranges.clear();
+      last_src_ = kNone;
+      last_dst_ = kNone;
+      return;
+    }
+    last = ranges.size();
+    ranges.push_back({b, len, write});
+  }
+
+  std::span<const sg::MemRange> finish(const CudaDevDist* device_units,
+                                       std::size_t n_units) {
+    if (spanning) {
+      if (src_lo != nullptr)
+        ranges.push_back({src_lo, src_hi - src_lo, false});
+      if (dst_lo != nullptr) ranges.push_back({dst_lo, dst_hi - dst_lo, true});
+    }
+    if (device_units != nullptr && n_units > 0) {
+      ranges.push_back(
+          {device_units,
+           static_cast<std::int64_t>(n_units * sizeof(CudaDevDist)), false});
+    }
+    return ranges;
+  }
+};
 
 /// How one side of a copy is reached from the kernel's device.
 enum class Side { kLocalDevice, kPeerDevice, kMappedHost };
@@ -100,13 +170,24 @@ vt::Time pack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                    });
   const auto* sb = static_cast<const std::byte*>(src_base);
   auto* db = static_cast<std::byte*>(dst);
-  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
+  RangeBuilder rb;
+  if (ctx.machine->observer() != nullptr) {
     for_vector_range(pat, pk_lo, pk_hi,
                      [&](std::int64_t s, std::int64_t d, std::int64_t len) {
-                       std::memcpy(db + d, sb + s,
-                                   static_cast<std::size_t>(len));
+                       rb.add(sb + s, db + d, len);
                      });
-  });
+  }
+  return sg::LaunchKernel(
+      ctx, stream, t.prof,
+      [&] {
+        for_vector_range(pat, pk_lo, pk_hi,
+                         [&](std::int64_t s, std::int64_t d,
+                             std::int64_t len) {
+                           std::memcpy(db + d, sb + s,
+                                       static_cast<std::size_t>(len));
+                         });
+      },
+      "pack_vector", rb.finish(nullptr, 0));
 }
 
 vt::Time unpack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
@@ -120,49 +201,76 @@ vt::Time unpack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                    });
   auto* db = static_cast<std::byte*>(dst_base);
   const auto* sb = static_cast<const std::byte*>(src);
-  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
+  RangeBuilder rb;
+  if (ctx.machine->observer() != nullptr) {
     for_vector_range(pat, pk_lo, pk_hi,
                      [&](std::int64_t d, std::int64_t s, std::int64_t len) {
-                       std::memcpy(db + d, sb + s,
-                                   static_cast<std::size_t>(len));
+                       rb.add(sb + s, db + d, len);
                      });
-  });
+  }
+  return sg::LaunchKernel(
+      ctx, stream, t.prof,
+      [&] {
+        for_vector_range(pat, pk_lo, pk_hi,
+                         [&](std::int64_t d, std::int64_t s,
+                             std::int64_t len) {
+                           std::memcpy(db + d, sb + s,
+                                       static_cast<std::size_t>(len));
+                         });
+      },
+      "unpack_vector", rb.finish(nullptr, 0));
 }
 
 vt::Time pack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                          const void* src_base,
                          std::span<const CudaDevDist> units,
                          std::int64_t pk_base, void* dst,
-                         const CudaDevDist* /*device_units*/, int blocks) {
+                         const CudaDevDist* device_units, int blocks) {
   Traffic t(ctx, stream, src_base, dst, blocks);
   for (const auto& u : units) t.add(u.nc_disp, u.pk_disp - pk_base, u.length);
   t.add_descriptor_reads(static_cast<std::int64_t>(units.size()));
   const auto* sb = static_cast<const std::byte*>(src_base);
   auto* db = static_cast<std::byte*>(dst);
-  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
-    for (const auto& u : units) {
-      std::memcpy(db + (u.pk_disp - pk_base), sb + u.nc_disp,
-                  static_cast<std::size_t>(u.length));
-    }
-  });
+  RangeBuilder rb;
+  if (ctx.machine->observer() != nullptr) {
+    for (const auto& u : units)
+      rb.add(sb + u.nc_disp, db + (u.pk_disp - pk_base), u.length);
+  }
+  return sg::LaunchKernel(
+      ctx, stream, t.prof,
+      [&] {
+        for (const auto& u : units) {
+          std::memcpy(db + (u.pk_disp - pk_base), sb + u.nc_disp,
+                      static_cast<std::size_t>(u.length));
+        }
+      },
+      "pack_dev", rb.finish(device_units, units.size()));
 }
 
 vt::Time unpack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                            void* dst_base,
                            std::span<const CudaDevDist> units,
                            std::int64_t pk_base, const void* src,
-                           const CudaDevDist* /*device_units*/, int blocks) {
+                           const CudaDevDist* device_units, int blocks) {
   Traffic t(ctx, stream, src, dst_base, blocks);
   for (const auto& u : units) t.add(u.pk_disp - pk_base, u.nc_disp, u.length);
   t.add_descriptor_reads(static_cast<std::int64_t>(units.size()));
   auto* db = static_cast<std::byte*>(dst_base);
   const auto* sb = static_cast<const std::byte*>(src);
-  return sg::LaunchKernel(ctx, stream, t.prof, [&] {
-    for (const auto& u : units) {
-      std::memcpy(db + u.nc_disp, sb + (u.pk_disp - pk_base),
-                  static_cast<std::size_t>(u.length));
-    }
-  });
+  RangeBuilder rb;
+  if (ctx.machine->observer() != nullptr) {
+    for (const auto& u : units)
+      rb.add(sb + (u.pk_disp - pk_base), db + u.nc_disp, u.length);
+  }
+  return sg::LaunchKernel(
+      ctx, stream, t.prof,
+      [&] {
+        for (const auto& u : units) {
+          std::memcpy(db + u.nc_disp, sb + (u.pk_disp - pk_base),
+                      static_cast<std::size_t>(u.length));
+        }
+      },
+      "unpack_dev", rb.finish(device_units, units.size()));
 }
 
 }  // namespace gpuddt::core

@@ -43,13 +43,15 @@ vt::Time SmBtl::rdma_get(Process& self, int /*peer_rank*/, void* local,
   // Intra-node one-sided read: CUDA IPC (device memory) or plain
   // shared-memory copy. TimedCopy picks the right resources from the
   // pointer registry.
-  return sg::TimedCopy(self.gpu(), local, remote, bytes, earliest);
+  return sg::TimedCopy(self.gpu(), local, remote, bytes, earliest,
+                       "sm_rdma_get");
 }
 
 vt::Time SmBtl::rdma_put(Process& self, int /*peer_rank*/, void* remote,
                          const void* local, std::size_t bytes,
                          vt::Time earliest) {
-  return sg::TimedCopy(self.gpu(), remote, local, bytes, earliest);
+  return sg::TimedCopy(self.gpu(), remote, local, bytes, earliest,
+                       "sm_rdma_put");
 }
 
 bool SmBtl::supports_gpu_rdma(const Process& self, int /*peer*/) const {
@@ -117,6 +119,13 @@ vt::Time IbBtl::rdma_get(Process& self, int peer_rank, void* local,
   const auto r = link(self.node(), self.node_of(peer_rank), bytes > 4096)
                      .reserve(earliest, dur);
   std::memcpy(local, remote, bytes);
+  // The wire bytes move outside the GPU runtime's calls; report them to
+  // the access checker so GPUDirect reads participate in hazard analysis.
+  const sg::MemRange ranges[] = {
+      {remote, static_cast<std::int64_t>(bytes), false},
+      {local, static_cast<std::int64_t>(bytes), true}};
+  sg::NoteAccess(self.gpu(), "ib_rdma", std::max(earliest, vt::Time{0}),
+                 r.finish, ranges);
   return r.finish;
 }
 

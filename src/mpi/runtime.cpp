@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "check/access_tracker.h"
 #include "mpi/bml.h"
 #include "mpi/btl.h"
 #include "mpi/pml.h"
@@ -90,6 +91,9 @@ Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.ranks_per_node < 1)
     throw std::invalid_argument("Runtime: ranks_per_node must be >= 1");
   machine_ = std::make_unique<sg::Machine>(cfg_.machine);
+  // Route access-checker counters (check.ops / check.hazards / ...) into
+  // the runtime's recorder when both are present.
+  check::set_recorder(*machine_, cfg_.recorder);
   bml_ = std::make_unique<Bml>(*this);
   Pml::register_handlers(*this);
 }

@@ -634,7 +634,8 @@ void GpuDatatypePlugin::drive_recv_from_contiguous(mpi::Process& p,
     if (same_device) {
       last = sg::TimedCopy(p.gpu(), dst, st->remote,
                            static_cast<std::size_t>(req.total_bytes),
-                           std::max(arrival, p.clock().now()));
+                           std::max(arrival, p.clock().now()),
+                           "recv_contig_get");
     } else {
       last = btl.rdma_get(p, st->src_rank, dst, st->remote,
                           static_cast<std::size_t>(req.total_bytes),

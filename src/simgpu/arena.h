@@ -12,6 +12,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace gpuddt::sg {
 
@@ -96,6 +97,21 @@ class Arena {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = allocated_.find(const_cast<std::byte*>(static_cast<const std::byte*>(p)));
     return it == allocated_.end() ? 0 : it->second;
+  }
+
+  /// Base and size of the live allocation *containing* p (interior
+  /// pointers resolve to their block), or {nullptr, 0} when p does not
+  /// point into a live allocation. Used by the access checker to key
+  /// tracked ranges per buffer.
+  std::pair<std::byte*, std::size_t> allocation_span(const void* p) const {
+    auto* b = const_cast<std::byte*>(static_cast<const std::byte*>(p));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = allocated_.upper_bound(b);
+    if (it == allocated_.begin()) return {nullptr, 0};
+    --it;
+    if (b >= it->first && b < it->first + it->second)
+      return {it->first, it->second};
+    return {nullptr, 0};
   }
 
  private:

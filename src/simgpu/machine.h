@@ -10,8 +10,10 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "simgpu/access.h"
 #include "simgpu/arena.h"
 #include "simgpu/cost_model.h"
 #include "vtime/resource.h"
@@ -37,6 +39,10 @@ struct MachineConfig {
   /// Bytes of simulated device memory per device.
   std::size_t device_memory_bytes = std::size_t{1} << 30;
   CostModel cost;
+  /// Device-access checking (src/check/): -1 inherits the build/env
+  /// default (GPUDDT_CHECK option, GPUDDT_CHECK env var), 0 forces it
+  /// off, 1 forces it on for this machine.
+  int check = -1;
 };
 
 /// One simulated GPU.
@@ -78,6 +84,7 @@ class Machine {
     devices_.reserve(cfg.num_devices);
     for (int d = 0; d < cfg.num_devices; ++d)
       devices_.push_back(std::make_unique<Device>(d, cfg));
+    observer_ = make_default_observer(*this);  // null when checking is off
   }
 
   const MachineConfig& config() const { return cfg_; }
@@ -101,9 +108,31 @@ class Machine {
 
   void host_free(void* p) {
     if (p == nullptr) return;
+    std::size_t bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = host_blocks_.find(static_cast<std::byte*>(p));
+      if (it == host_blocks_.end())
+        throw std::invalid_argument("Machine::host_free: unknown pointer");
+      bytes = it->second.size;
+      host_blocks_.erase(it);
+    }
+    if (observer_) observer_->on_release(p, bytes);
+  }
+
+  /// Base and size of the registered host block containing p, or
+  /// {nullptr, 0} for unregistered host memory.
+  std::pair<const void*, std::size_t> host_block_span(const void* p) const {
     std::lock_guard<std::mutex> lock(mu_);
-    if (host_blocks_.erase(static_cast<std::byte*>(p)) == 0)
-      throw std::invalid_argument("Machine::host_free: unknown pointer");
+    auto it = host_blocks_.upper_bound(
+        const_cast<std::byte*>(static_cast<const std::byte*>(p)));
+    if (it != host_blocks_.begin()) {
+      --it;
+      const auto* base = it->first;
+      if (p >= base && p < base + it->second.size)
+        return {base, it->second.size};
+    }
+    return {nullptr, 0};
   }
 
   // --- Pointer queries --------------------------------------------------------
@@ -131,10 +160,16 @@ class Machine {
     return query(p).space == MemorySpace::kDevice;
   }
 
-  /// Reset all timing state (between benchmark repetitions).
+  /// Reset all timing state (between benchmark repetitions). Also drops
+  /// the access checker's history: restarted timelines are not comparable
+  /// with pre-reset access windows.
   void reset_timing() {
     for (auto& d : devices_) d->reset_timing();
+    if (observer_) observer_->on_reset();
   }
+
+  /// The attached access observer; null when checking is disabled.
+  AccessObserver* observer() const { return observer_.get(); }
 
  private:
   struct HostBlock {
@@ -145,6 +180,7 @@ class Machine {
 
   MachineConfig cfg_;
   std::vector<std::unique_ptr<Device>> devices_;
+  std::unique_ptr<AccessObserver> observer_;
   mutable std::mutex mu_;
   std::map<std::byte*, HostBlock> host_blocks_;
 };

@@ -1,7 +1,9 @@
 #include "simgpu/runtime.h"
 
 #include <cstring>
+#include <initializer_list>
 #include <stdexcept>
+#include <vector>
 
 namespace gpuddt::sg {
 
@@ -79,7 +81,71 @@ vt::Time reserve_copy(HostContext& ctx, const ResolvedCopy& rc,
   return earliest;
 }
 
+/// Register an operation's byte ranges with the machine's access observer
+/// (no-op when checking is off).
+void note_op(HostContext& ctx, const char* label, const Stream* stream,
+             int device, vt::Time start, vt::Time finish,
+             std::span<const MemRange> ranges) {
+  AccessObserver* obs = ctx.machine->observer();
+  if (obs == nullptr) return;
+  OpInfo info;
+  info.label = label;
+  info.queue = stream;
+  info.queue_name = stream != nullptr ? stream->name() : nullptr;
+  info.device = device;
+  info.start = start;
+  info.finish = finish;
+  obs->on_op(info, ranges);
+}
+
+void note_op(HostContext& ctx, const char* label, const Stream* stream,
+             int device, vt::Time start, vt::Time finish,
+             std::initializer_list<MemRange> ranges) {
+  note_op(ctx, label, stream, device, start, finish,
+          std::span<const MemRange>(ranges.begin(), ranges.size()));
+}
+
+int copy_device(const ResolvedCopy& rc) {
+  return rc.dst_device >= 0 ? rc.dst_device : rc.src_device;
+}
+
+/// 2D copies register per-row ranges (so interleaved-column traffic is
+/// judged exactly) up to a row cap, beyond which one conservative
+/// spanning range per side keeps tracking cost bounded.
+constexpr std::size_t kMax2DRowRanges = 512;
+
+void note_2d(HostContext& ctx, const char* label, const Stream* stream,
+             const ResolvedCopy& rc, vt::Time start, vt::Time finish,
+             void* dst, std::size_t dpitch, const void* src,
+             std::size_t spitch, std::size_t width, std::size_t height) {
+  if (ctx.machine->observer() == nullptr) return;
+  std::vector<MemRange> rs;
+  rs.reserve(2 * std::min(height, kMax2DRowRanges));
+  const auto add_side = [&](const void* p, std::size_t pitch, bool write) {
+    const auto* b = static_cast<const std::byte*>(p);
+    if (pitch == width) {
+      rs.push_back({b, static_cast<std::int64_t>(width * height), write});
+    } else if (height <= kMax2DRowRanges) {
+      for (std::size_t h = 0; h < height; ++h)
+        rs.push_back(
+            {b + h * pitch, static_cast<std::int64_t>(width), write});
+    } else {
+      rs.push_back({b, static_cast<std::int64_t>((height - 1) * pitch + width),
+                    write});
+    }
+  };
+  add_side(src, spitch, false);
+  add_side(dst, dpitch, true);
+  note_op(ctx, label, stream, copy_device(rc), start, finish,
+          std::span<const MemRange>(rs.data(), rs.size()));
+}
+
 }  // namespace
+
+void NoteAccess(HostContext& ctx, const char* label, vt::Time start,
+                vt::Time finish, std::span<const MemRange> ranges) {
+  note_op(ctx, label, nullptr, -1, start, finish, ranges);
+}
 
 void* Malloc(HostContext& ctx, std::size_t bytes) {
   ctx.clock.advance(vt::usec(2.0));
@@ -91,8 +157,11 @@ void Free(HostContext& ctx, void* ptr) {
   const PtrAttributes a = ctx.machine->query(ptr);
   if (a.space != MemorySpace::kDevice)
     throw std::invalid_argument("sg::Free: not a device pointer");
-  ctx.machine->device(a.device).arena().deallocate(
-      static_cast<std::byte*>(ptr));
+  Arena& arena = ctx.machine->device(a.device).arena();
+  const std::size_t bytes = arena.allocation_size(ptr);
+  arena.deallocate(static_cast<std::byte*>(ptr));
+  if (AccessObserver* obs = ctx.machine->observer())
+    obs->on_release(ptr, bytes);
 }
 
 void* HostAlloc(HostContext& ctx, std::size_t bytes, bool mapped) {
@@ -113,8 +182,12 @@ void Memcpy(HostContext& ctx, void* dst, const void* src, std::size_t bytes) {
   const vt::Time overhead =
       rc.kind == CopyKind::kH2H ? 0 : ctx.cost().memcpy_call_ns;
   ctx.clock.advance(overhead);
-  const vt::Time finish = reserve_copy(
-      ctx, rc, static_cast<std::int64_t>(bytes), ctx.clock.now(), 0);
+  const vt::Time start = ctx.clock.now();
+  const vt::Time finish =
+      reserve_copy(ctx, rc, static_cast<std::int64_t>(bytes), start, 0);
+  note_op(ctx, "memcpy", nullptr, copy_device(rc), start, finish,
+          {MemRange{src, static_cast<std::int64_t>(bytes), false},
+           MemRange{dst, static_cast<std::int64_t>(bytes), true}});
   ctx.clock.wait_until(finish);
 }
 
@@ -128,6 +201,9 @@ vt::Time MemcpyAsync(HostContext& ctx, void* dst, const void* src,
   const vt::Time finish = reserve_copy(
       ctx, rc, static_cast<std::int64_t>(bytes), earliest,
       rc.kind == CopyKind::kH2H ? 0 : ctx.cost().memcpy_call_ns);
+  note_op(ctx, "memcpy_async", &stream, copy_device(rc), earliest, finish,
+          {MemRange{src, static_cast<std::int64_t>(bytes), false},
+           MemRange{dst, static_cast<std::int64_t>(bytes), true}});
   stream.set_tail(finish);
   return finish;
 }
@@ -172,8 +248,10 @@ void Memcpy2D(HostContext& ctx, void* dst, std::size_t dpitch, const void* src,
   const vt::Time row_cost = static_cast<vt::Time>(
       cm.memcpy2d_row_ns * static_cast<double>(height));
   ctx.clock.advance(rc.kind == CopyKind::kH2H ? 0 : cm.memcpy_call_ns);
-  const vt::Time finish =
-      reserve_copy(ctx, rc, eff, ctx.clock.now(), row_cost);
+  const vt::Time start = ctx.clock.now();
+  const vt::Time finish = reserve_copy(ctx, rc, eff, start, row_cost);
+  note_2d(ctx, "memcpy2d", nullptr, rc, start, finish, dst, dpitch, src,
+          spitch, width, height);
   ctx.clock.wait_until(finish);
 }
 
@@ -194,6 +272,8 @@ vt::Time Memcpy2DAsync(HostContext& ctx, void* dst, std::size_t dpitch,
   const vt::Time finish = reserve_copy(
       ctx, rc, eff, earliest,
       row_cost + (rc.kind == CopyKind::kH2H ? 0 : cm.memcpy_call_ns));
+  note_2d(ctx, "memcpy2d_async", &stream, rc, earliest, finish, dst, dpitch,
+          src, spitch, width, height);
   stream.set_tail(finish);
   return finish;
 }
@@ -222,24 +302,35 @@ void Memset(HostContext& ctx, void* dst, int value, std::size_t bytes) {
   if (d.space == MemorySpace::kDevice) {
     const CostModel& cm = ctx.cost();
     ctx.clock.advance(cm.memcpy_call_ns);
+    const vt::Time start = ctx.clock.now();
     const vt::Time dur =
         vt::transfer_time(static_cast<std::int64_t>(bytes), cm.gpu_mem_gbps);
-    const auto r = ctx.machine->device(d.device).copy_engine().reserve(
-        ctx.clock.now(), dur);
+    const auto r =
+        ctx.machine->device(d.device).copy_engine().reserve(start, dur);
+    note_op(ctx, "memset", nullptr, d.device, start, r.finish,
+            {MemRange{dst, static_cast<std::int64_t>(bytes), true}});
     ctx.clock.wait_until(r.finish);
   } else {
+    const vt::Time start = ctx.clock.now();
     ctx.clock.advance(
         ctx.cost().cpu_copy_ns(static_cast<std::int64_t>(bytes)));
+    note_op(ctx, "memset", nullptr, -1, start, ctx.clock.now(),
+            {MemRange{dst, static_cast<std::int64_t>(bytes), true}});
   }
 }
 
 vt::Time TimedCopy(HostContext& ctx, void* dst, const void* src,
-                   std::size_t bytes, vt::Time earliest) {
+                   std::size_t bytes, vt::Time earliest, const char* label) {
   if (bytes == 0) return earliest;
   const ResolvedCopy rc = resolve(ctx, dst, src);
   std::memcpy(dst, src, bytes);
-  return reserve_copy(ctx, rc, static_cast<std::int64_t>(bytes),
-                      std::max(earliest, vt::Time{0}), 0);
+  const vt::Time start = std::max(earliest, vt::Time{0});
+  const vt::Time finish =
+      reserve_copy(ctx, rc, static_cast<std::int64_t>(bytes), start, 0);
+  note_op(ctx, label, nullptr, copy_device(rc), start, finish,
+          {MemRange{src, static_cast<std::int64_t>(bytes), false},
+           MemRange{dst, static_cast<std::int64_t>(bytes), true}});
+  return finish;
 }
 
 void StreamSynchronize(HostContext& ctx, Stream& stream) {
@@ -292,7 +383,8 @@ vt::Time KernelDuration(const CostModel& cm, const KernelProfile& profile,
 
 vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
                       const KernelProfile& profile,
-                      const std::function<void()>& body) {
+                      const std::function<void()>& body, const char* label,
+                      std::span<const MemRange> ranges) {
   body();
   const CostModel& cm = ctx.cost();
   ctx.clock.advance(cm.enqueue_ns);
@@ -308,6 +400,7 @@ vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
         profile.pcie_bytes, pcie_dir_gbps(cm, profile.pcie_dir));
     dev.pcie().reserve(r.start, pcie_ns);
   }
+  note_op(ctx, label, &stream, dev.id(), earliest, r.finish, ranges);
   stream.set_tail(r.finish);
   return r.finish;
 }

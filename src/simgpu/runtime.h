@@ -11,7 +11,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 
+#include "simgpu/access.h"
 #include "simgpu/machine.h"
 #include "simgpu/stream.h"
 
@@ -75,9 +77,17 @@ void Memset(HostContext& ctx, void* dst, int value, std::size_t bytes);
 /// stream and not blocking the host clock: the building block of the BTL
 /// RDMA engines (CUDA IPC get/put). Moves the bytes immediately, reserves
 /// the appropriate resources (copy engine, PCI-E links) no earlier than
-/// `earliest`, and returns the virtual finish time.
+/// `earliest`, and returns the virtual finish time. `label` names the
+/// operation in access-checker diagnostics.
 vt::Time TimedCopy(HostContext& ctx, void* dst, const void* src,
-                   std::size_t bytes, vt::Time earliest);
+                   std::size_t bytes, vt::Time earliest,
+                   const char* label = "timed_copy");
+
+/// Report a byte movement performed outside the runtime's own calls (for
+/// example a BTL moving wire bytes with plain memcpy) to the machine's
+/// access observer. No timing effect; no-op when checking is off.
+void NoteAccess(HostContext& ctx, const char* label, vt::Time start,
+                vt::Time finish, std::span<const MemRange> ranges);
 
 // --- Streams and events --------------------------------------------------------
 
@@ -114,10 +124,14 @@ struct KernelProfile {
 /// Launch a kernel on `stream`. `body` performs the functional byte
 /// movement and runs immediately on the calling thread; the kernel's
 /// virtual interval is reserved on the device's SM array (and PCI-E link
-/// for zero-copy traffic). Returns the virtual finish time.
+/// for zero-copy traffic). Returns the virtual finish time. `label` and
+/// `ranges` describe the kernel's memory footprint to the access checker
+/// (kernel wrappers populate them only when an observer is attached).
 vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
                       const KernelProfile& profile,
-                      const std::function<void()>& body);
+                      const std::function<void()>& body,
+                      const char* label = "kernel",
+                      std::span<const MemRange> ranges = {});
 
 /// Duration such a kernel occupies the SMs, excluding queueing (exposed
 /// for the cost-model unit tests).

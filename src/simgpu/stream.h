@@ -19,12 +19,16 @@ class Device;
 
 class Stream {
  public:
-  explicit Stream(Device* dev) : dev_(dev) {}
+  /// `name` (optional, static string) labels the stream in access-checker
+  /// diagnostics; it has no semantic effect.
+  explicit Stream(Device* dev, const char* name = nullptr)
+      : dev_(dev), name_(name) {}
 
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
   Device& device() const { return *dev_; }
+  const char* name() const { return name_; }
 
   /// Finish time of the last enqueued operation.
   vt::Time tail() const {
@@ -51,6 +55,7 @@ class Stream {
 
  private:
   Device* dev_;
+  const char* name_ = nullptr;
   mutable std::mutex mu_;
   vt::Time tail_ = 0;
 };

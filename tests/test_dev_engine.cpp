@@ -274,11 +274,12 @@ TEST_F(KernelTest, MisalignedUnitsCostMoreTransactions) {
   }
   auto* src = static_cast<std::byte*>(sg::Malloc(ctx, 1 << 20));
   auto* dst = static_cast<std::byte*>(sg::Malloc(ctx, 1 << 20));
+  auto* dst2 = static_cast<std::byte*>(sg::Malloc(ctx, 1 << 20));
   sg::Stream s1(&m.device(0)), s2(&m.device(0));
   const vt::Time f1 = pack_dev_kernel(ctx, s1, src, aligned, 0, dst, nullptr, 15);
   const vt::Time base1 = s1.tail();
   const vt::Time f2 =
-      pack_dev_kernel(ctx, s2, src, drifting, 0, dst, nullptr, 15);
+      pack_dev_kernel(ctx, s2, src, drifting, 0, dst2, nullptr, 15);
   (void)base1;
   // Durations: compare net-of-queue times via fresh streams.
   EXPECT_GT(f2 - f1, 0);

@@ -1,0 +1,113 @@
+// Summarize a gpuddt-check-v1 report (the bench --check-out JSON).
+//
+// Usage:
+//   check_report FILE [--max-hazards N] [--max-violations N]
+//       Print the tracker totals and every stored diagnostic, then exit
+//       non-zero when the hazard / DEV-violation totals exceed the caps
+//       (both default 0, i.e. any finding fails). Used by the
+//       bench_check_clean CTest entry to keep the suite hazard-free.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using gpuddt::obs::json::Value;
+
+Value load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return gpuddt::obs::json::parse(ss.str());
+}
+
+std::int64_t int_of(const Value& doc, const char* key) {
+  return static_cast<std::int64_t>(doc.at(key).as_double());
+}
+
+void print_access(const char* tag, const Value& a) {
+  std::printf("      %s %s on %s: [%#llx, +%lld) %s over [%lld, %lld)\n", tag,
+              a.at("label").as_string().c_str(),
+              a.at("queue").as_string().c_str(),
+              static_cast<unsigned long long>(a.at("ptr").as_double()),
+              static_cast<long long>(a.at("len").as_double()),
+              a.at("write").as_bool() ? "write" : "read",
+              static_cast<long long>(a.at("start").as_double()),
+              static_cast<long long>(a.at("finish").as_double()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::int64_t max_hazards = 0;
+  std::int64_t max_violations = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-hazards") == 0 && i + 1 < argc) {
+      max_hazards = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-violations") == 0 && i + 1 < argc) {
+      max_violations = std::atoll(argv[++i]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::cerr << "usage: check_report FILE [--max-hazards N]"
+                   " [--max-violations N]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: check_report FILE [--max-hazards N]"
+                 " [--max-violations N]\n";
+    return 2;
+  }
+  try {
+    const Value doc = load(path);
+    if (!doc.is_object() || !doc.contains("schema") ||
+        doc.at("schema").as_string() != "gpuddt-check-v1") {
+      throw std::runtime_error(path + ": not a gpuddt-check-v1 report");
+    }
+    const std::int64_t hazards = int_of(doc, "hazards");
+    const std::int64_t violations = int_of(doc, "dev_violations");
+    std::printf("%s:\n", path.c_str());
+    std::printf("  ops tracked      %12lld\n",
+                static_cast<long long>(int_of(doc, "ops_tracked")));
+    std::printf("  ranges tracked   %12lld\n",
+                static_cast<long long>(int_of(doc, "ranges_tracked")));
+    std::printf("  records dropped  %12lld\n",
+                static_cast<long long>(int_of(doc, "records_dropped")));
+    std::printf("  hazards          %12lld\n",
+                static_cast<long long>(hazards));
+    std::printf("  dev violations   %12lld\n",
+                static_cast<long long>(violations));
+    for (const auto& d : doc.at("diagnostics").as_array()) {
+      std::printf("  [%s] %s: %s\n", d.at("kind").as_string().c_str(),
+                  d.at("type").as_string().c_str(),
+                  d.at("message").as_string().c_str());
+      if (d.contains("a")) print_access("first ", d.at("a"));
+      if (d.contains("b")) print_access("second", d.at("b"));
+    }
+    int rc = 0;
+    if (hazards > max_hazards) {
+      std::cerr << "FAIL: " << hazards << " hazard(s) > " << max_hazards
+                << " allowed\n";
+      rc = 1;
+    }
+    if (violations > max_violations) {
+      std::cerr << "FAIL: " << violations << " DEV violation(s) > "
+                << max_violations << " allowed\n";
+      rc = 1;
+    }
+    if (rc == 0) std::printf("  clean\n");
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "check_report: " << e.what() << "\n";
+    return 1;
+  }
+}

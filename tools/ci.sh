@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI driver: default build + tests, GPUDDT_CHECK=ON build + tests (the
+# whole suite must run hazard-clean with the access checker attached to
+# every machine), ASan/UBSan build + tests, and clang-tidy lint where
+# available. Mirrors the CMakePresets.json configurations.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+run() {
+  echo "== $* =="
+  "$@"
+}
+
+# 1. Default configuration.
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# 2. Checking on by default: every machine in the suite gets the hazard
+#    detector + DEV invariant checker attached.
+run cmake -B build-check -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUDDT_CHECK=ON
+run cmake --build build-check -j "$JOBS"
+run ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+# 3. ASan + UBSan.
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGPUDDT_SANITIZE=ON
+run cmake --build build-asan -j "$JOBS"
+run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+# 4. Lint (no-op with a notice when clang-tidy is not installed).
+run cmake --build build --target lint
+
+echo "== ci.sh: all configurations passed =="

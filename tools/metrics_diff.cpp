@@ -9,8 +9,14 @@
 //       Parse FILE, check the schema marker, and require each KEY to be
 //       present as a counter or histogram. Exits 1 on any failure (used
 //       by the bench_metrics_validate CTest entry).
+//   metrics_diff --gate A.json B.json KEY<=PCT...
+//       Regression gate: for each KEY (counter or histogram mean), require
+//       the candidate B not to exceed the baseline A by more than PCT
+//       percent. A missing key in either dump fails. Exits 1 on any
+//       breached threshold (wired as the bench_metrics_gate CTest entry).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -103,6 +109,78 @@ int diff(const std::string& pa, const std::string& pb) {
   return 0;
 }
 
+/// Value of `key` in a dump: counter value, or histogram mean. Returns
+/// false when the key exists in neither section.
+bool lookup(const Value& doc, const std::string& key, double* out) {
+  const auto& counters = doc.at("counters").as_object();
+  if (const auto it = counters.find(key); it != counters.end()) {
+    *out = it->second.as_double();
+    return true;
+  }
+  const auto& histos = doc.at("histograms").as_object();
+  if (const auto it = histos.find(key); it != histos.end()) {
+    *out = it->second.at("mean").as_double();
+    return true;
+  }
+  return false;
+}
+
+int gate(const std::string& pa, const std::string& pb, int nspecs,
+         char** specs) {
+  const Value a = load(pa);
+  const Value b = load(pb);
+  check_schema(a, pa);
+  check_schema(b, pb);
+  int failures = 0;
+  for (int i = 0; i < nspecs; ++i) {
+    const std::string spec = specs[i];
+    const std::size_t sep = spec.find("<=");
+    if (sep == std::string::npos || sep == 0) {
+      std::cerr << "bad gate spec (want KEY<=PCT): " << spec << "\n";
+      ++failures;
+      continue;
+    }
+    const std::string key = spec.substr(0, sep);
+    char* end = nullptr;
+    const double pct = std::strtod(spec.c_str() + sep + 2, &end);
+    if (end == spec.c_str() + sep + 2 || *end != '\0') {
+      std::cerr << "bad gate threshold in: " << spec << "\n";
+      ++failures;
+      continue;
+    }
+    double va = 0.0;
+    double vb = 0.0;
+    if (!lookup(a, key, &va)) {
+      std::cerr << "FAIL " << key << ": missing from baseline " << pa << "\n";
+      ++failures;
+      continue;
+    }
+    if (!lookup(b, key, &vb)) {
+      std::cerr << "FAIL " << key << ": missing from candidate " << pb
+                << "\n";
+      ++failures;
+      continue;
+    }
+    // Directional: only growth beyond the allowance fails (a drop in a
+    // cost-like metric is an improvement, not a regression).
+    const double limit = va * (1.0 + pct / 100.0);
+    const double rel = va != 0.0 ? (vb - va) / va * 100.0 : 0.0;
+    if (vb > limit) {
+      std::printf("FAIL %-42s %14.0f -> %-14.0f (%+.1f%% > +%g%%)\n",
+                  key.c_str(), va, vb, rel, pct);
+      ++failures;
+    } else {
+      std::printf("ok   %-42s %14.0f -> %-14.0f (%+.1f%% <= +%g%%)\n",
+                  key.c_str(), va, vb, rel, pct);
+    }
+  }
+  if (failures > 0) {
+    std::cerr << failures << " gate(s) breached\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,12 +188,16 @@ int main(int argc, char** argv) {
     if (argc >= 3 && std::strcmp(argv[1], "--validate") == 0) {
       return validate(argv[2], argc - 3, argv + 3);
     }
+    if (argc >= 5 && std::strcmp(argv[1], "--gate") == 0) {
+      return gate(argv[2], argv[3], argc - 4, argv + 4);
+    }
     if (argc == 3) return diff(argv[1], argv[2]);
   } catch (const std::exception& e) {
     std::cerr << "metrics_diff: " << e.what() << "\n";
     return 1;
   }
   std::cerr << "usage: metrics_diff A.json B.json\n"
-               "       metrics_diff --validate FILE KEY...\n";
+               "       metrics_diff --validate FILE KEY...\n"
+               "       metrics_diff --gate A.json B.json KEY<=PCT...\n";
   return 2;
 }
