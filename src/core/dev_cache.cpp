@@ -16,6 +16,8 @@ void DevCache::set_recorder(obs::Recorder* rec) {
   rec_->metrics().counter("dev_cache.hits");
   rec_->metrics().counter("dev_cache.misses");
   rec_->metrics().counter("dev_cache.evictions");
+  rec_->metrics().counter("dev_cache.bytes");
+  rec_->metrics().counter("dev_cache.evictions_bytes");
 }
 
 void DevCache::touch(const Node& n) const {
@@ -62,6 +64,8 @@ const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
   for (const auto& u : units) entry->total_bytes += u.length;
   entry->units = std::move(units);
   const Entry* out = entry.get();
+  bytes_ += entry_bytes(*entry);
+  obs::count(rec_, "dev_cache.bytes", entry_bytes(*entry));
   lru_.push_front(k);
   entries_.emplace(k, Node{std::move(entry), lru_.begin()});
   obs::count(rec_, "dev_cache.inserts");
@@ -86,7 +90,12 @@ const CudaDevDist* DevCache::device_units(sg::HostContext& ctx,
 }
 
 void DevCache::evict_if_needed(sg::HostContext& ctx) {
-  while (entries_.size() > max_entries_ && !lru_.empty()) {
+  // The entries_.size() > 1 guard on the byte bound keeps the
+  // just-inserted (most recent) entry resident even when it alone
+  // exceeds max_bytes_ - evicting it would make the insert pointless.
+  while (!lru_.empty() &&
+         (entries_.size() > max_entries_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_ && entries_.size() > 1))) {
     const Key victim = lru_.back();
     lru_.pop_back();
     auto it = entries_.find(victim);
@@ -96,9 +105,14 @@ void DevCache::evict_if_needed(sg::HostContext& ctx) {
       // device pointers resolve globally through the machine registry.
       sg::Free(ctx, ptr);
     }
+    const std::int64_t freed = entry_bytes(*it->second.entry);
+    bytes_ -= freed;
+    evictions_bytes_ += freed;
     entries_.erase(it);
     ++evictions_;
     obs::count(rec_, "dev_cache.evictions");
+    obs::count(rec_, "dev_cache.evictions_bytes", freed);
+    obs::count(rec_, "dev_cache.bytes", -freed);
   }
 }
 
@@ -108,6 +122,8 @@ void DevCache::clear(sg::HostContext& ctx) {
   }
   entries_.clear();
   lru_.clear();
+  obs::count(rec_, "dev_cache.bytes", -bytes_);
+  bytes_ = 0;
 }
 
 std::vector<std::uint64_t> DevCache::lru_type_ids() const {

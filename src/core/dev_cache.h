@@ -37,8 +37,14 @@ class DevCache {
     std::map<int, void*> device_copies;
   };
 
-  explicit DevCache(std::size_t max_entries = 64)
-      : max_entries_(max_entries) {}
+  /// `max_bytes` bounds the summed descriptor footprint of the cached
+  /// entries (units.size() * sizeof(CudaDevDist) each); 0 = unbounded.
+  /// Entries of wildly different DEV-list sizes would otherwise share one
+  /// entry-count budget.
+  explicit DevCache(std::size_t max_entries = 64, std::int64_t max_bytes = 0)
+      : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+  void set_max_bytes(std::int64_t bytes) { max_bytes_ = bytes; }
 
   /// Mirror hit/miss/eviction/upload events into `rec` (nullable).
   void set_recorder(obs::Recorder* rec);
@@ -70,6 +76,10 @@ class DevCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Current summed descriptor footprint of the resident entries.
+  std::int64_t bytes() const { return bytes_; }
+  /// Descriptor bytes released by evictions so far.
+  std::int64_t evictions_bytes() const { return evictions_bytes_; }
 
   /// Cache keys from most- to least-recently used (tests, introspection).
   std::vector<std::uint64_t> lru_type_ids() const;
@@ -98,7 +108,14 @@ class DevCache {
   void evict_if_needed(sg::HostContext& ctx);
   void touch(const Node& n) const;
 
+  static std::int64_t entry_bytes(const Entry& e) {
+    return static_cast<std::int64_t>(e.units.size() * sizeof(CudaDevDist));
+  }
+
   std::size_t max_entries_;
+  std::int64_t max_bytes_ = 0;  // 0 = no byte bound
+  std::int64_t bytes_ = 0;
+  std::int64_t evictions_bytes_ = 0;
   std::unordered_map<Key, Node, KeyHash> entries_;
   mutable std::list<Key> lru_;  // front = most recent
   mutable std::uint64_t hits_ = 0;

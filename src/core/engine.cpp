@@ -32,6 +32,7 @@ GpuDatatypeEngine::GpuDatatypeEngine(sg::HostContext& ctx, EngineConfig cfg)
   if (cfg_.convert_chunk_units == 0)
     throw std::invalid_argument("EngineConfig: zero conversion chunk");
   cache_.set_recorder(cfg_.recorder);
+  cache_.set_max_bytes(cfg_.cache_max_bytes);
   validate_ = cfg_.validate_devs >= 0 ? cfg_.validate_devs != 0
                                       : ctx.machine->observer() != nullptr;
   cache_.set_validation(validate_);

@@ -39,6 +39,9 @@ struct EngineConfig {
   /// CUDA blocks per kernel (Section 5.3 sweeps this).
   int kernel_blocks = 64;
   bool cache_enabled = true;
+  /// Byte bound on the DEV cache's summed descriptor footprint
+  /// (0 = entry-count bound only; see DevCache).
+  std::int64_t cache_max_bytes = 0;
   /// Pipeline host-side conversion with kernel execution; off = convert
   /// the whole remaining range first (the Figure 7 "plain" variant).
   bool pipeline_conversion = true;

@@ -8,6 +8,7 @@
 #include "mpi/bml.h"
 #include "mpi/btl.h"
 #include "mpi/pml.h"
+#include "mpi/sched.h"
 
 namespace gpuddt::mpi {
 
@@ -49,10 +50,21 @@ bool Process::progress() {
     rt_.handler(m.handler)(*this, m);
     any = true;
   }
+  // An empty poll is a scheduling point: iprobe/test spin loops must hand
+  // the turn to the peers they are waiting on.
+  if (!any) {
+    if (auto* sched = rt_.scheduler()) sched->yield(rank_);
+  }
   return any;
 }
 
 void Process::progress_blocking() {
+  if (auto* sched = rt_.scheduler()) {
+    for (;;) {
+      if (progress()) return;
+      sched->wait_for_message(rank_);
+    }
+  }
   if (progress()) return;
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -81,6 +93,7 @@ void Process::deliver(AmMessage&& m) {
     inbox_.push_back(std::move(m));
   }
   inbox_cv_.notify_one();
+  if (auto* sched = rt_.scheduler()) sched->note_message(rank_);
 }
 
 // --- Runtime ----------------------------------------------------------------------
@@ -127,19 +140,27 @@ void Runtime::run(const std::function<void(Process&)>& fn) {
   for (int r = 0; r < cfg_.world_size; ++r)
     procs_.push_back(std::make_unique<Process>(*this, r));
 
+  if (cfg_.deterministic)
+    sched_ = std::make_unique<TurnScheduler>(cfg_.world_size);
+
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(cfg_.world_size);
   threads.reserve(cfg_.world_size);
   for (int r = 0; r < cfg_.world_size; ++r) {
     threads.emplace_back([&, r] {
       try {
+        if (sched_) sched_->start(r);
         fn(*procs_[r]);
       } catch (...) {
         errors[r] = std::current_exception();
       }
+      // Leave the rotation even on exception, or the peers would wait for
+      // this rank's turn forever.
+      if (sched_) sched_->finish(r);
     });
   }
   for (auto& t : threads) t.join();
+  sched_.reset();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

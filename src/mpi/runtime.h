@@ -36,6 +36,7 @@ class Pml;
 class Btl;
 class Bml;
 class GpuTransferPlugin;
+class TurnScheduler;
 
 /// A BTL-level Active Message: the receiver runs the registered handler
 /// for `handler` when it progresses its inbox ([4] in the paper).
@@ -88,6 +89,9 @@ struct RuntimeConfig {
   /// Work-unit size S of the GPU datatype engine (Section 3.2).
   std::int64_t dev_unit_bytes = 1024;
   bool dev_cache_enabled = true;
+  /// Byte bound on each rank's DEV cache descriptor footprint (0 = entry
+  /// budget only).
+  std::int64_t dev_cache_max_bytes = 0;
   /// Pipeline host-side DEV conversion with kernel execution (Section 3.2;
   /// off reproduces the Figure 7 non-pipelined baseline).
   bool dev_pipeline_conversion = true;
@@ -96,8 +100,16 @@ struct RuntimeConfig {
   /// Force the copy-in/out protocol even when IPC would be available.
   bool force_copy_inout = false;
 
-  /// Real-time guard: a blocking progress loop that sees no traffic for
-  /// this many milliseconds aborts the run (deadlock detector for tests).
+  /// Cooperative deterministic scheduling (mpi/sched.h): rank threads take
+  /// round-robin turns instead of free-running, so every touch of shared
+  /// virtual-time state (arenas, timed resources, inboxes) happens in a
+  /// program-defined order and repeat runs are bit-identical. Off restores
+  /// the legacy free-running threads with the real-time deadlock timeout.
+  bool deterministic = true;
+
+  /// Real-time guard for the non-deterministic mode: a blocking progress
+  /// loop that sees no traffic for this many milliseconds aborts the run.
+  /// (The deterministic scheduler detects deadlock exactly instead.)
   int progress_timeout_ms = 30000;
 
   /// Optional observability sink shared by every rank (counters,
@@ -193,6 +205,10 @@ class Runtime {
     return rank / cfg_.ranks_per_node;
   }
 
+  /// The cooperative scheduler; null when config().deterministic is off
+  /// or outside run().
+  TurnScheduler* scheduler() { return sched_.get(); }
+
  private:
   RuntimeConfig cfg_;
   std::unique_ptr<sg::Machine> machine_;
@@ -200,6 +216,7 @@ class Runtime {
   std::shared_ptr<GpuTransferPlugin> plugin_;
   std::unique_ptr<Bml> bml_;
   std::vector<std::unique_ptr<Process>> procs_;
+  std::unique_ptr<TurnScheduler> sched_;
   bool ran_ = false;
 };
 

@@ -1,0 +1,81 @@
+#include "mpi/sched.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace gpuddt::mpi {
+
+TurnScheduler::TurnScheduler(int nranks)
+    : state_(static_cast<size_t>(nranks), State::kRunnable),
+      pending_(static_cast<size_t>(nranks), false) {}
+
+void TurnScheduler::start(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return active_ == rank || deadlock_; });
+  if (deadlock_) throw_deadlock(rank);
+}
+
+void TurnScheduler::finish(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  state_[rank] = State::kFinished;
+  if (active_ == rank) pass_turn_locked(rank);
+}
+
+void TurnScheduler::wait_for_message(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (pending_[rank]) {
+    pending_[rank] = false;
+    return;
+  }
+  state_[rank] = State::kBlocked;
+  pass_turn_locked(rank);
+  cv_.wait(lk, [&] {
+    return (active_ == rank && state_[rank] == State::kRunnable) || deadlock_;
+  });
+  if (deadlock_) throw_deadlock(rank);
+  pending_[rank] = false;
+}
+
+void TurnScheduler::yield(int rank) {
+  std::unique_lock<std::mutex> lk(mu_);
+  pass_turn_locked(rank);
+  if (active_ == rank) return;  // nobody else runnable
+  cv_.wait(lk, [&] { return active_ == rank || deadlock_; });
+  if (deadlock_) throw_deadlock(rank);
+}
+
+void TurnScheduler::note_message(int dst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_[dst] = true;
+  if (state_[dst] == State::kBlocked) state_[dst] = State::kRunnable;
+}
+
+void TurnScheduler::pass_turn_locked(int from) {
+  const int n = static_cast<int>(state_.size());
+  for (int i = 1; i <= n; ++i) {
+    const int r = (from + i) % n;
+    if (state_[r] == State::kRunnable) {
+      active_ = r;
+      cv_.notify_all();
+      return;
+    }
+  }
+  // No runnable rank. If blocked ranks remain, nobody can ever wake them.
+  for (int r = 0; r < n; ++r) {
+    if (state_[r] == State::kBlocked) {
+      deadlock_ = true;
+      cv_.notify_all();
+      return;
+    }
+  }
+  // Everyone finished; nothing to do.
+}
+
+void TurnScheduler::throw_deadlock(int rank) const {
+  throw std::runtime_error(
+      "TurnScheduler: deadlock - rank " + std::to_string(rank) +
+      " is waiting for messages but every remaining rank is blocked or "
+      "finished");
+}
+
+}  // namespace gpuddt::mpi

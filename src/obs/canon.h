@@ -1,0 +1,35 @@
+// Canonical serialization of gpuddt-metrics-v1 dumps.
+//
+// Two dumps of the same run must compare byte-for-byte, so the
+// determinism harness (tools/determinism_check) and the baseline gate
+// (metrics_diff --gate --baseline) both reduce dumps to one canonical
+// form before comparing:
+//
+//   - only the `schema`, `counters` and `histograms` sections survive;
+//     the `trace` section is diagnostic payload (event capture is bounded
+//     and --trace is opt-in), not a gated metric, and is dropped;
+//   - `check.*` metrics are dropped: they come from the optional access
+//     checker (GPUDDT_CHECK / --check), so keeping them would make the
+//     canonical text depend on the build configuration;
+//   - object keys are sorted (json::Object is a std::map, so parsing
+//     alone establishes this);
+//   - numbers print as integers whenever they are exactly representable
+//     as one, and as max-precision doubles ("%.17g") otherwise, so the
+//     text never depends on who serialized the value first.
+//
+// docs/determinism.md describes the rules and how the baselines under
+// bench/baselines/ are regenerated.
+#pragma once
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace gpuddt::obs {
+
+/// Canonical text of a parsed gpuddt-metrics-v1 dump. Throws
+/// std::runtime_error when `doc` lacks the schema marker or either
+/// metrics section.
+std::string canonical_metrics(const json::Value& doc);
+
+}  // namespace gpuddt::obs

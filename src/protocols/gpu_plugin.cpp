@@ -49,10 +49,36 @@ H read_header(const mpi::AmMessage& m) {
   return h;
 }
 
+/// The receiver-side unpack reads AM payload bytes in place - plain
+/// (malloc'd) host staging the machine knows nothing about, so the access
+/// checker used to skip those ranges entirely. Register the span for the
+/// duration of the handler; unregistering on scope exit releases the
+/// tracked history, so a later payload reusing the same addresses is not
+/// compared against this one's accesses.
+class ScopedStagingRegistration {
+ public:
+  ScopedStagingRegistration(sg::Machine& m, const void* p, std::size_t n)
+      : m_(m), p_(m.observer() != nullptr && n > 0 ? p : nullptr) {
+    if (p_ != nullptr)
+      m_.register_host_range(const_cast<void*>(p_), n, /*mapped=*/true);
+  }
+  ~ScopedStagingRegistration() {
+    if (p_ != nullptr) m_.unregister_host_range(const_cast<void*>(p_));
+  }
+  ScopedStagingRegistration(const ScopedStagingRegistration&) = delete;
+  ScopedStagingRegistration& operator=(const ScopedStagingRegistration&) =
+      delete;
+
+ private:
+  sg::Machine& m_;
+  const void* p_;
+};
+
 core::EngineConfig engine_config(const mpi::RuntimeConfig& cfg) {
   core::EngineConfig e;
   e.unit_bytes = cfg.dev_unit_bytes;
   e.cache_enabled = cfg.dev_cache_enabled;
+  e.cache_max_bytes = cfg.dev_cache_max_bytes;
   e.kernel_blocks = cfg.gpu_kernel_blocks;
   e.pipeline_conversion = cfg.dev_pipeline_conversion;
   e.recorder = cfg.recorder;
@@ -817,6 +843,8 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
     throw std::runtime_error("gpu plugin: out-of-order fragment");
 
   if (hdr.bytes > 0) {
+    ScopedStagingRegistration staging(p.runtime().machine(), data.data(),
+                                      static_cast<std::size_t>(hdr.bytes));
     if (st->gpu_bounce != nullptr) {
       // Explicit copy-in: H2D staging, then unpack from device memory.
       if (hdr.bytes > st->gpu_bounce_bytes)
@@ -878,6 +906,8 @@ void GpuDatatypePlugin::recv_eager(mpi::Process& p, mpi::RecvRequest& req,
                       req.count, req.buf);
   vt::Time last = arrival;
   if (!data.empty()) {
+    ScopedStagingRegistration staging(p.runtime().machine(), data.data(),
+                                      data.size());
     const auto res = eng.process_some(
         *op, const_cast<std::byte*>(data.data()),
         static_cast<std::int64_t>(data.size()), arrival);

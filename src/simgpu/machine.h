@@ -120,6 +120,36 @@ class Machine {
     if (observer_) observer_->on_release(p, bytes);
   }
 
+  /// Make an externally-owned host range (protocol staging, AM payload
+  /// bytes) visible to pointer queries and the access checker. Non-owning:
+  /// the caller keeps the memory alive until unregister_host_range. Copy
+  /// costs do not distinguish pinned from pageable host memory, so
+  /// registration never changes timing - only checker visibility.
+  void register_host_range(void* p, std::size_t bytes, bool mapped = false) {
+    if (p == nullptr || bytes == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    host_blocks_[static_cast<std::byte*>(p)] =
+        HostBlock{nullptr, bytes, mapped};
+  }
+
+  /// Drop a register_host_range registration; releases the checker's
+  /// access history for the range, so a later allocation reusing these
+  /// addresses is not compared against this buffer's accesses.
+  void unregister_host_range(void* p) {
+    if (p == nullptr) return;
+    std::size_t bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = host_blocks_.find(static_cast<std::byte*>(p));
+      if (it == host_blocks_.end())
+        throw std::invalid_argument(
+            "Machine::unregister_host_range: unknown pointer");
+      bytes = it->second.size;
+      host_blocks_.erase(it);
+    }
+    if (observer_) observer_->on_release(p, bytes);
+  }
+
   /// Base and size of the registered host block containing p, or
   /// {nullptr, 0} for unregistered host memory.
   std::pair<const void*, std::size_t> host_block_span(const void* p) const {

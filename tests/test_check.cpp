@@ -193,6 +193,60 @@ TEST(CheckHazard, FreeDropsHistory) {
   sg::Free(ctx, dev2);
 }
 
+TEST(CheckHazard, UnregisteredHostStagingIsInvisible) {
+  // Two unordered D2H downloads into the SAME malloc'd staging buffer are
+  // a WAW on the host side - but plain host memory is not keyed to any
+  // allocation, so the tracker has nowhere to file the ranges. This is
+  // the blind spot register_host_range closes (next test).
+  sg::Machine m(checked_config());
+  sg::HostContext ctx(m, 0);
+  const std::size_t bytes = 1 << 20;
+  void* dev = sg::Malloc(ctx, bytes);
+  std::vector<std::byte> staging(bytes);
+  sg::Stream s1(&m.device(0), "a");
+  sg::Stream s2(&m.device(0), "b");
+
+  const SinkDelta d;
+  sg::MemcpyAsync(ctx, staging.data(), dev, bytes, s1);
+  sg::MemcpyAsync(ctx, staging.data(), dev, bytes, s2);
+  EXPECT_EQ(d.hazards(), 0);  // undetected: documents the gap
+  sg::Free(ctx, dev);
+}
+
+TEST(CheckHazard, RegisteredHostStagingIsTracked) {
+  // Same seeded WAW as above, with the staging registered the way the
+  // protocol registers payload staging: now the hazard is caught.
+  sg::Machine m(checked_config());
+  sg::HostContext ctx(m, 0);
+  const std::size_t bytes = 1 << 20;
+  void* dev = sg::Malloc(ctx, bytes);
+  std::vector<std::byte> staging(bytes);
+  sg::Stream s1(&m.device(0), "a");
+  sg::Stream s2(&m.device(0), "b");
+
+  m.register_host_range(staging.data(), bytes);
+  const SinkDelta d;
+  const auto n0 = check::diagnostics().size();
+  sg::MemcpyAsync(ctx, staging.data(), dev, bytes, s1);
+  sg::MemcpyAsync(ctx, staging.data(), dev, bytes, s2);
+  EXPECT_GE(d.hazards(), 1);
+  const auto diags = check::diagnostics();
+  ASSERT_GT(diags.size(), n0);
+  EXPECT_EQ(diags.back().type, "WAW");
+
+  // Unregistering drops the history: a reuse of the same addresses as a
+  // new logical buffer must not alias the old accesses.
+  m.unregister_host_range(staging.data());
+  const SinkDelta d2;
+  m.register_host_range(staging.data(), bytes);
+  sg::MemcpyAsync(ctx, staging.data(), dev, bytes, s2);
+  EXPECT_EQ(d2.hazards(), 0);
+  m.unregister_host_range(staging.data());
+  EXPECT_THROW(m.unregister_host_range(staging.data()),
+               std::invalid_argument);
+  sg::Free(ctx, dev);
+}
+
 TEST(CheckHazard, CountersReachRecorder) {
   sg::Machine m(checked_config());
   check::set_recorder(m, &obs::default_recorder());

@@ -165,6 +165,60 @@ TEST(DevCache, CountsEvictionsAndKeepsLruOrder) {
                                         a->type_id()}));
 }
 
+TEST(DevCache, ByteBoundEvictsUnderEntryBudget) {
+  // Two 4-unit entries fit the entry budget comfortably but overflow a
+  // 6-descriptor byte bound: the LRU one must go even though
+  // max_entries would have kept both.
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  const std::int64_t d = sizeof(CudaDevDist);
+  DevCache cache(64, 6 * d);
+  auto a = mpi::Datatype::contiguous(512, mpi::kDouble());  // 4096 B -> 4 units
+  auto b = mpi::Datatype::contiguous(513, mpi::kDouble());  // 4104 B -> 5 units
+  cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  EXPECT_EQ(cache.bytes(), 4 * d);
+  cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(a, 1, 1024), nullptr);  // a was the byte-bound victim
+  EXPECT_NE(cache.find(b, 1, 1024), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.evictions_bytes(), 4 * d);
+  EXPECT_EQ(cache.bytes(), 5 * d);
+}
+
+TEST(DevCache, ByteBoundKeepsOversizedNewestEntry) {
+  // A single entry larger than max_bytes stays resident - evicting the
+  // entry that was just inserted would make every insert a no-op.
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  const std::int64_t d = sizeof(CudaDevDist);
+  DevCache cache(64, 2 * d);
+  auto a = mpi::Datatype::contiguous(512, mpi::kDouble());  // 4 units > bound
+  cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_NE(cache.find(a, 1, 1024), nullptr);
+}
+
+TEST(DevCache, ExportsByteCounters) {
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  obs::Recorder rec;
+  const std::int64_t d = sizeof(CudaDevDist);
+  DevCache cache(64, 6 * d);
+  cache.set_recorder(&rec);
+  auto a = mpi::Datatype::contiguous(512, mpi::kDouble());
+  auto b = mpi::Datatype::contiguous(513, mpi::kDouble());
+  cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));  // evicts a
+  auto counters = rec.metrics().counters_snapshot();
+  EXPECT_EQ(counters.at("dev_cache.bytes"), cache.bytes());
+  EXPECT_EQ(counters.at("dev_cache.evictions_bytes"), 4 * d);
+  cache.clear(ctx);
+  counters = rec.metrics().counters_snapshot();
+  EXPECT_EQ(counters.at("dev_cache.bytes"), 0);
+}
+
 // --- Kernels: functional + profile shape -----------------------------------------------
 
 class KernelTest : public ::testing::Test {

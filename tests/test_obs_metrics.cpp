@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/canon.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -150,6 +151,58 @@ TEST(Recorder, ClearDropsEverything) {
   const auto doc = json::parse(rec.to_json());
   EXPECT_TRUE(doc.at("counters").as_object().empty());
   EXPECT_TRUE(doc.at("histograms").as_object().empty());
+}
+
+TEST(Canon, DropsTraceAndInstrumentationMetrics) {
+  Recorder rec;
+  rec.enable_tracing(true);
+  rec.metrics().counter("pml.frags").add(7);
+  rec.metrics().counter("check.hazards").add(3);  // checker-only metric
+  rec.metrics().histogram("check.lat").record(1);
+  trace(&rec, {"ev", "cat", 0, 10, 0, 0});
+  const std::string text = canonical_metrics(json::parse(rec.to_json()));
+  EXPECT_NE(text.find("\"pml.frags\": 7"), std::string::npos);
+  EXPECT_EQ(text.find("check."), std::string::npos);
+  EXPECT_EQ(text.find("trace"), std::string::npos);
+  EXPECT_EQ(text.find("ev"), std::string::npos);
+}
+
+TEST(Canon, IsInvariantToTraceAndCheckerState) {
+  // The determinism harness compares a run with the checker/tracing off
+  // against a run with them on; the canonical text must not move.
+  Recorder plain;
+  plain.metrics().counter("engine.bytes").add(4096);
+  plain.metrics().histogram("lat").record(250);
+  Recorder instrumented;
+  instrumented.enable_tracing(true);
+  instrumented.metrics().counter("engine.bytes").add(4096);
+  instrumented.metrics().histogram("lat").record(250);
+  instrumented.metrics().counter("check.ops").add(12);
+  trace(&instrumented, {"op", "engine", 0, 5, 1, 0});
+  EXPECT_EQ(canonical_metrics(json::parse(plain.to_json())),
+            canonical_metrics(json::parse(instrumented.to_json())));
+}
+
+TEST(Canon, RejectsForeignDocuments) {
+  EXPECT_THROW(canonical_metrics(json::parse("{\"schema\": \"other\"}")),
+               std::runtime_error);
+  EXPECT_THROW(
+      canonical_metrics(json::parse(
+          "{\"schema\": \"gpuddt-metrics-v1\", \"counters\": {}}")),
+      std::runtime_error);
+}
+
+TEST(Canon, StableNumberFormatting) {
+  // Integers (counter values, histogram fields) must round-trip through
+  // the double-typed parser without drifting into exponent notation.
+  const auto doc = json::parse(
+      "{\"schema\": \"gpuddt-metrics-v1\","
+      " \"counters\": {\"big\": 9007199254740991, \"neg\": -12},"
+      " \"histograms\": {\"h\": {\"count\": 2, \"mean\": 1.5}}}");
+  const std::string text = canonical_metrics(doc);
+  EXPECT_NE(text.find("\"big\": 9007199254740991"), std::string::npos);
+  EXPECT_NE(text.find("\"neg\": -12"), std::string::npos);
+  EXPECT_NE(text.find("\"mean\":1.5"), std::string::npos);
 }
 
 TEST(Recorder, GuardedHelpersIgnoreNull) {

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "check/config.h"
 #include "core/layouts.h"
 #include "mpi/runtime.h"
 #include "protocols/gpu_plugin.h"
@@ -146,6 +147,75 @@ TEST(RmaWindow, FencePropagatesVirtualCompletion) {
       EXPECT_GT(p.clock().now(), before + vt::msec(1));
     }
   });
+}
+
+TEST(RmaWindow, SeededEpochConflictIsFlaggedByChecker) {
+  // Two origins put into the SAME bytes of rank 0's device window inside
+  // one fence epoch. MPI makes such conflicts the caller's problem
+  // (window.h header comment); the access checker must surface the WAW -
+  // the RMA layer previously had no seeded-hazard coverage.
+  mpi::RuntimeConfig cfg = world(3);
+  cfg.machine.check = 1;
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+  const std::int64_t hazards0 = check::hazard_count();
+  rt.run([](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const std::int64_t bytes = 64 * 1024;
+    std::byte* win = nullptr;
+    if (p.rank() == 0) {
+      win = static_cast<std::byte*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(bytes)));
+      std::memset(win, 0, static_cast<std::size_t>(bytes));
+    }
+    Window w(comm, win, p.rank() == 0 ? bytes : 0);
+    w.fence();
+    if (p.rank() != 0) {
+      std::vector<std::int32_t> data(
+          static_cast<std::size_t>(bytes / 4), p.rank());
+      w.put(data.data(), bytes / 4, mpi::kInt32(), 0, /*disp=*/0, bytes / 4,
+            mpi::kInt32());
+    }
+    w.fence();
+    if (p.rank() == 0) sg::Free(p.gpu(), win);
+  });
+  EXPECT_GE(check::hazard_count() - hazards0, 1);
+}
+
+TEST(RmaWindow, FenceSeparatedPutsRunClean) {
+  // The same two puts in separate fence epochs are ordered and must not
+  // be flagged.
+  mpi::RuntimeConfig cfg = world(3);
+  cfg.machine.check = 1;
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+  const std::int64_t hazards0 = check::hazard_count();
+  rt.run([](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const std::int64_t bytes = 64 * 1024;
+    std::byte* win = nullptr;
+    if (p.rank() == 0) {
+      win = static_cast<std::byte*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(bytes)));
+      std::memset(win, 0, static_cast<std::size_t>(bytes));
+    }
+    Window w(comm, win, p.rank() == 0 ? bytes : 0);
+    w.fence();
+    if (p.rank() == 1) {
+      std::vector<std::int32_t> data(static_cast<std::size_t>(bytes / 4), 1);
+      w.put(data.data(), bytes / 4, mpi::kInt32(), 0, 0, bytes / 4,
+            mpi::kInt32());
+    }
+    w.fence();
+    if (p.rank() == 2) {
+      std::vector<std::int32_t> data(static_cast<std::size_t>(bytes / 4), 2);
+      w.put(data.data(), bytes / 4, mpi::kInt32(), 0, 0, bytes / 4,
+            mpi::kInt32());
+    }
+    w.fence();
+    if (p.rank() == 0) sg::Free(p.gpu(), win);
+  });
+  EXPECT_EQ(check::hazard_count() - hazards0, 0);
 }
 
 TEST(RmaWindow, OutOfRangeAccessThrows) {

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "check/config.h"
 #include "core/layouts.h"
 #include "mpi/runtime.h"
 #include "shmem/shmem.h"
@@ -177,6 +178,60 @@ TEST(Shmem, QuietAdvancesClockPastNbiOps) {
     }
     pe.barrier_all();
   });
+}
+
+TEST(Shmem, SeededConcurrentPutsAreFlaggedByChecker) {
+  // Two PEs push into the SAME symmetric range on a third PE with no
+  // ordering between them - a WAW the OpenSHMEM memory model leaves to
+  // the programmer. The layer routes through checked BTL RDMA, so the
+  // access checker must flag it (previously the SHMEM layer had no
+  // seeded-hazard coverage of its own).
+  //
+  // There is deliberately no barrier after the puts: a trailing barrier's
+  // messages carry post-put timestamps, and draining one before the
+  // second put would order the writers in virtual time (a legitimate
+  // happens-before edge - the checker is right to stay silent then).
+  // quiet() only advances the local clock, so without closing traffic the
+  // two transfer windows stay truly concurrent.
+  mpi::RuntimeConfig cfg = pe_world(3);
+  cfg.machine.check = 1;
+  mpi::Runtime rt(cfg);
+  SymmetricHeap heap(rt, 32u << 20);
+  const std::int64_t hazards0 = check::hazard_count();
+  rt.run([&](mpi::Process& p) {
+    Pe pe(p, heap);
+    const std::size_t bytes = 16u << 20;
+    auto* buf = static_cast<std::byte*>(pe.malloc(bytes));
+    pe.barrier_all();
+    // PEs 1 and 2 write PE 0's whole buffer concurrently; PE 2 shares the
+    // target's device (copy engine), PE 1 crosses PCI-E, so the two
+    // transfers' virtual windows overlap (16MB dwarfs any barrier skew).
+    if (p.rank() == 1 || p.rank() == 2) {
+      pe.putmem_nbi(buf, buf, bytes, 0);
+      pe.quiet();
+    }
+  });
+  EXPECT_GE(check::hazard_count() - hazards0, 1);
+}
+
+TEST(Shmem, OrderedPutsRunClean) {
+  // The same traffic with a barrier between the two puts is ordered in
+  // virtual time and must NOT be flagged.
+  mpi::RuntimeConfig cfg = pe_world(3);
+  cfg.machine.check = 1;
+  mpi::Runtime rt(cfg);
+  SymmetricHeap heap(rt, 2u << 20);
+  const std::int64_t hazards0 = check::hazard_count();
+  rt.run([&](mpi::Process& p) {
+    Pe pe(p, heap);
+    auto* buf = static_cast<std::byte*>(pe.malloc(1 << 20));
+    pe.barrier_all();
+    if (p.rank() == 0) pe.putmem(buf, buf, 1 << 20, 2);
+    pe.barrier_all();
+    if (p.rank() == 1) pe.putmem(buf, buf, 1 << 20, 2);
+    pe.barrier_all();
+  });
+  EXPECT_EQ(check::hazard_count() - hazards0, 0);
 }
 
 TEST(Shmem, RejectsNonSymmetricAddress) {

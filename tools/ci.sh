@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI driver: default build + tests, GPUDDT_CHECK=ON build + tests (the
 # whole suite must run hazard-clean with the access checker attached to
-# every machine), ASan/UBSan build + tests, and clang-tidy lint where
+# every machine), ASan/UBSan build + tests, a determinism sweep over all
+# benchmark binaries (docs/determinism.md), and clang-tidy lint where
 # available. Mirrors the CMakePresets.json configurations.
 set -euo pipefail
 
@@ -31,7 +32,13 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-# 4. Lint (no-op with a notice when clang-tidy is not installed).
+# 4. Determinism sweep: every benchmark binary must double-run to
+#    byte-identical canonical metrics (the in-suite bench_determinism
+#    ctest entry covers one binary; this covers them all). The checked-in
+#    baseline gates (bench_baseline_gate*) already ran as part of ctest.
+run build/tools/determinism_check build/bench/bench_*
+
+# 5. Lint (no-op with a notice when clang-tidy is not installed).
 run cmake --build build --target lint
 
 echo "== ci.sh: all configurations passed =="

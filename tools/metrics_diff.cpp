@@ -14,6 +14,17 @@
 //       the candidate B not to exceed the baseline A by more than PCT
 //       percent. A missing key in either dump fails. Exits 1 on any
 //       breached threshold (wired as the bench_metrics_gate CTest entry).
+//   metrics_diff --gate --baseline BASELINE.json CANDIDATE.json
+//       Exact gate: canonicalize both dumps (obs/canon.h - counters and
+//       histograms only, trace dropped) and require them to match
+//       byte-for-byte. Virtual time is deterministic, so a checked-in
+//       baseline needs no headroom; any divergence is a behavior change
+//       that must be reviewed (and the baseline regenerated with
+//       tools/regen_baselines.sh). Prints the per-key differences and
+//       exits 1 on mismatch.
+//   metrics_diff --canon FILE
+//       Print FILE's canonical form on stdout (how baselines are
+//       regenerated).
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +34,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/canon.h"
 #include "obs/json.h"
 
 namespace {
@@ -125,6 +137,75 @@ bool lookup(const Value& doc, const std::string& key, double* out) {
   return false;
 }
 
+/// Canonical text of one section entry, for exact per-key comparison.
+std::string entry_text(const std::string& name, const Value& v,
+                       bool histogram) {
+  using gpuddt::obs::json::Object;
+  Object doc{{"schema", Value(std::string("gpuddt-metrics-v1"))},
+             {"counters", Value(Object{})},
+             {"histograms", Value(Object{})}};
+  doc[histogram ? "histograms" : "counters"] = Value(Object{{name, v}});
+  return gpuddt::obs::canonical_metrics(Value(std::move(doc)));
+}
+
+/// Exact per-key comparison of a section; prints every divergence.
+int diff_exact(const char* title, const gpuddt::obs::json::Object& a,
+               const gpuddt::obs::json::Object& b, bool histogram) {
+  int diffs = 0;
+  for (const auto& [name, av] : a) {
+    const auto it = b.find(name);
+    if (it == b.end()) {
+      std::printf("FAIL %s %-42s only in baseline\n", title, name.c_str());
+      ++diffs;
+    } else if (entry_text(name, av, histogram) !=
+               entry_text(name, it->second, histogram)) {
+      if (histogram) {
+        std::printf("FAIL %s %-42s differs\n", title, name.c_str());
+      } else {
+        std::printf("FAIL %s %-42s %14.0f -> %-14.0f\n", title, name.c_str(),
+                    av.as_double(), it->second.as_double());
+      }
+      ++diffs;
+    }
+  }
+  for (const auto& [name, bv] : b) {
+    if (a.find(name) == a.end()) {
+      std::printf("FAIL %s %-42s only in candidate\n", title, name.c_str());
+      ++diffs;
+    }
+  }
+  return diffs;
+}
+
+int gate_baseline(const std::string& pa, const std::string& pb) {
+  const Value a = load(pa);
+  const Value b = load(pb);
+  const std::string ca = gpuddt::obs::canonical_metrics(a);
+  const std::string cb = gpuddt::obs::canonical_metrics(b);
+  if (ca == cb) {
+    std::printf("ok   %s == %s (canonical, %zu bytes)\n", pa.c_str(),
+                pb.c_str(), ca.size());
+    return 0;
+  }
+  std::printf("baseline mismatch: %s vs %s\n", pa.c_str(), pb.c_str());
+  const int diffs =
+      diff_exact("counter", a.at("counters").as_object(),
+                 b.at("counters").as_object(), /*histogram=*/false) +
+      diff_exact("histogram", a.at("histograms").as_object(),
+                 b.at("histograms").as_object(), /*histogram=*/true);
+  std::cerr << (diffs > 0 ? diffs : 1)
+            << " difference(s) against checked-in baseline " << pa << "\n"
+            << "(intended change? regenerate with "
+               "tools/regen_baselines.sh)\n";
+  return 1;
+}
+
+int canon(const std::string& path) {
+  const std::string text = gpuddt::obs::canonical_metrics(load(path));
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
 int gate(const std::string& pa, const std::string& pb, int nspecs,
          char** specs) {
   const Value a = load(pa);
@@ -188,8 +269,15 @@ int main(int argc, char** argv) {
     if (argc >= 3 && std::strcmp(argv[1], "--validate") == 0) {
       return validate(argv[2], argc - 3, argv + 3);
     }
+    if (argc == 5 && std::strcmp(argv[1], "--gate") == 0 &&
+        std::strcmp(argv[2], "--baseline") == 0) {
+      return gate_baseline(argv[3], argv[4]);
+    }
     if (argc >= 5 && std::strcmp(argv[1], "--gate") == 0) {
       return gate(argv[2], argv[3], argc - 4, argv + 4);
+    }
+    if (argc == 3 && std::strcmp(argv[1], "--canon") == 0) {
+      return canon(argv[2]);
     }
     if (argc == 3) return diff(argv[1], argv[2]);
   } catch (const std::exception& e) {
@@ -198,6 +286,8 @@ int main(int argc, char** argv) {
   }
   std::cerr << "usage: metrics_diff A.json B.json\n"
                "       metrics_diff --validate FILE KEY...\n"
-               "       metrics_diff --gate A.json B.json KEY<=PCT...\n";
+               "       metrics_diff --gate A.json B.json KEY<=PCT...\n"
+               "       metrics_diff --gate --baseline BASE.json CAND.json\n"
+               "       metrics_diff --canon FILE\n";
   return 2;
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerate the checked-in metrics baselines under bench/baselines/.
+#
+# Each baseline is the CANONICAL (metrics_diff --canon: counters +
+# histograms, trace dropped, sorted keys) gpuddt-metrics-v1 dump of one
+# benchmark configuration. Virtual time is deterministic, so the CI gate
+# (metrics_diff --gate --baseline, the bench_baseline_gate ctest entry)
+# compares against these files byte-for-byte with zero headroom. Rerun
+# this script - and review the diff! - whenever a change intentionally
+# moves a modeled cost, then commit the updated baselines with the change
+# that moved them. docs/determinism.md has the full story.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+OUT=bench/baselines
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+# name|binary|benchmark_filter  (name becomes $OUT/<name>.json)
+BASELINES=(
+  "fig10_sm_1gpu_t_256|bench_fig10_pingpong|BM_Fig10_SM_1GPU_T/256/"
+  "fig9_pcie_pingpong|bench_fig9_pcie_pingpong|"
+)
+
+binaries=(metrics_diff)
+for spec in "${BASELINES[@]}"; do
+  IFS='|' read -r _ bin _ <<<"$spec"
+  binaries+=("$bin")
+done
+cmake --build "$BUILD" -j "$JOBS" --target "${binaries[@]}"
+
+mkdir -p "$OUT"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+for spec in "${BASELINES[@]}"; do
+  IFS='|' read -r name bin filter <<<"$spec"
+  args=(--metrics-out="$tmp")
+  [ -n "$filter" ] && args+=("--benchmark_filter=$filter")
+  echo "== $name: $bin ${filter:+(filter $filter)}"
+  "$BUILD/bench/$bin" "${args[@]}" > /dev/null
+  "$BUILD/tools/metrics_diff" --canon "$tmp" > "$OUT/$name.json"
+done
+
+echo "== baselines regenerated into $OUT - review with git diff"
