@@ -75,22 +75,36 @@ inline void record(benchmark::State& state, vt::Time virtual_ns,
       static_cast<double>(payload_bytes) / (1 << 20));
 }
 
-/// Shared main: strips `--metrics-out=FILE`, `--trace`, `--check` and
+/// Shared main: strips `--metrics-out=FILE`, `--trace`,
+/// `--trace-format=chrome|v1`, `--trace-out=FILE`, `--check` and
 /// `--check-out=FILE` before handing the rest to google-benchmark, then
 /// dumps the process-global recorder (which the harness feeds when specs
-/// carry no recorder of their own) as JSON. `--check` turns the access
-/// checker on for every machine the run creates; `--check-out` also writes
-/// the gpuddt-check-v1 diagnostic report (docs/checking.md). Returns the
-/// usual benchmark exit status.
+/// carry no recorder of their own) as JSON. `--trace-format=chrome` (or
+/// any `--trace-out=`) implies `--trace` and writes the trace buffer as a
+/// Chrome Trace Event Format array (docs/tracing.md) to `--trace-out`
+/// (default `trace.json`), loadable in chrome://tracing or Perfetto;
+/// `--trace-format=v1` keeps trace events inline in the `--metrics-out`
+/// document, the pre-existing behaviour of bare `--trace`. `--check`
+/// turns the access checker on for every machine the run creates;
+/// `--check-out` also writes the gpuddt-check-v1 diagnostic report
+/// (docs/checking.md). Returns the usual benchmark exit status.
 inline int bench_main(int argc, char** argv) {
   std::string metrics_out;
   std::string check_out;
+  std::string trace_format;
+  std::string trace_out;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
+      obs::default_recorder().enable_tracing(true);
+    } else if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
+      trace_format = argv[i] + 15;
+      obs::default_recorder().enable_tracing(true);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
       obs::default_recorder().enable_tracing(true);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check::set_forced(true);
@@ -101,11 +115,27 @@ inline int bench_main(int argc, char** argv) {
       args.push_back(argv[i]);
     }
   }
+  if (!trace_format.empty() && trace_format != "chrome" &&
+      trace_format != "v1") {
+    std::fprintf(stderr, "unknown --trace-format=%s (chrome|v1)\n",
+                 trace_format.c_str());
+    return 1;
+  }
+  const bool chrome = trace_format == "chrome" ||
+                      (trace_format.empty() && !trace_out.empty());
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (chrome) {
+    const std::string path = trace_out.empty() ? "trace.json" : trace_out;
+    if (!obs::default_recorder().write_chrome_json(path)) {
+      std::fprintf(stderr, "failed to write chrome trace to %s\n",
+                   path.c_str());
+      return 1;
+    }
+  }
   if (!metrics_out.empty()) {
     if (!obs::default_recorder().write_json(metrics_out)) {
       std::fprintf(stderr, "failed to write metrics to %s\n",

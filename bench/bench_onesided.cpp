@@ -1,0 +1,152 @@
+// One-sided layers: MPI-3 fence-epoch windows (put/get/accumulate with
+// datatypes on both sides) and OpenSHMEM-style symmetric-heap transfers,
+// both applying datatypes through the GPU engine.
+//
+// Not a paper figure - this is the observability workload for the
+// `rma.*` and `shmem.*` counter families (docs/metrics.md) and the
+// one-sided baseline in bench/baselines/.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/layouts.h"
+#include "protocols/gpu_plugin.h"
+#include "rma/window.h"
+#include "shmem/shmem.h"
+
+namespace gpuddt::bench {
+namespace {
+
+mpi::RuntimeConfig onesided_cfg() {
+  mpi::RuntimeConfig cfg = bench_pingpong_cfg();
+  cfg.recorder = &obs::default_recorder();
+  return cfg;
+}
+
+/// Run `body` on both ranks of a fresh two-rank world and return the
+/// largest per-rank virtual-time advance.
+template <typename F>
+vt::Time run_pair(F&& body) {
+  mpi::Runtime rt(onesided_cfg());
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+  std::vector<vt::Time> elapsed(2, 0);
+  rt.run([&](mpi::Process& p) {
+    const vt::Time t0 = p.clock().now();
+    body(p);
+    elapsed[static_cast<std::size_t>(p.rank())] = p.clock().now() - t0;
+  });
+  return *std::max_element(elapsed.begin(), elapsed.end());
+}
+
+// Origin's dense block scattered into the target's triangular layout in
+// device memory: the target datatype is applied remotely by the origin's
+// engine inside one fence epoch.
+void BM_Rma_Put_T_Device(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto tri = t_type(n);
+  for (auto _ : state) {
+    const vt::Time ns = run_pair([&](mpi::Process& p) {
+      mpi::Comm comm(p);
+      auto* win = static_cast<std::byte*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(n * n * 8)));
+      std::memset(win, 0, static_cast<std::size_t>(n * n * 8));
+      rma::Window w(comm, win, n * n * 8);
+      w.fence();
+      if (p.rank() == 0) {
+        std::vector<double> dense(
+            static_cast<std::size_t>(core::lower_triangle_elems(n)), 1.5);
+        w.put(dense.data(), core::lower_triangle_elems(n), mpi::kDouble(),
+              1, 0, 1, tri);
+      }
+      w.fence();
+      sg::Free(p.gpu(), win);
+    });
+    record(state, ns, tri->size());
+  }
+}
+BENCHMARK(BM_Rma_Put_T_Device)
+    ->Apply(small_matrix_sizes)->UseManualTime()->Iterations(1);
+
+void BM_Rma_Accumulate_Host(benchmark::State& state) {
+  const std::int64_t count = state.range(0) * state.range(0) / 8;
+  for (auto _ : state) {
+    const vt::Time ns = run_pair([&](mpi::Process& p) {
+      mpi::Comm comm(p);
+      std::vector<double> win(static_cast<std::size_t>(count), 1.0);
+      rma::Window w(comm, win.data(), count * 8);
+      w.fence();
+      if (p.rank() == 0) {
+        std::vector<double> ours(static_cast<std::size_t>(count), 2.0);
+        w.accumulate(ours.data(), count, mpi::kDouble(), 1, 0, count,
+                     mpi::kDouble(), mpi::ReduceOp::kSum);
+      }
+      w.fence();
+    });
+    record(state, ns, count * 8);
+  }
+}
+BENCHMARK(BM_Rma_Accumulate_Host)
+    ->Apply(small_matrix_sizes)->UseManualTime()->Iterations(1);
+
+/// SHMEM variant of run_pair: the symmetric heap is collective setup
+/// state, carved out of every PE's device arena once per world.
+template <typename F>
+vt::Time run_shmem_pair(std::size_t heap_bytes, F&& body) {
+  mpi::Runtime rt(onesided_cfg());
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+  shmem::SymmetricHeap heap(rt, heap_bytes);
+  std::vector<vt::Time> elapsed(2, 0);
+  rt.run([&](mpi::Process& p) {
+    shmem::Pe pe(p, heap);
+    const vt::Time t0 = p.clock().now();
+    body(p, pe);
+    elapsed[static_cast<std::size_t>(p.rank())] = p.clock().now() - t0;
+  });
+  return *std::max_element(elapsed.begin(), elapsed.end());
+}
+
+void BM_Shmem_Put_C(benchmark::State& state) {
+  const std::size_t bytes =
+      static_cast<std::size_t>(state.range(0)) *
+      static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const vt::Time ns =
+        run_shmem_pair(bytes + 4096, [&](mpi::Process& p, shmem::Pe& pe) {
+          auto* buf = pe.malloc(bytes);
+          std::memset(buf, p.rank(), bytes);
+          pe.barrier_all();
+          if (p.rank() == 0) pe.putmem(buf, buf, bytes, 1);
+          pe.barrier_all();
+        });
+    record(state, ns, static_cast<std::int64_t>(bytes));
+  }
+}
+BENCHMARK(BM_Shmem_Put_C)
+    ->Apply(small_matrix_sizes)->UseManualTime()->Iterations(1);
+
+// Datatype put: pack on the initiator's device, one-sided ship, unpack
+// into the peer's symmetric memory - the shmem.bytes.staged path.
+void BM_Shmem_PutDatatype_V(benchmark::State& state) {
+  const auto dt = v_type(state.range(0));
+  const std::size_t extent = static_cast<std::size_t>(dt->true_extent());
+  for (auto _ : state) {
+    const vt::Time ns =
+        run_shmem_pair(extent + 4096, [&](mpi::Process& p, shmem::Pe& pe) {
+          auto* buf = pe.malloc(extent);
+          std::memset(buf, 0, extent);
+          pe.barrier_all();
+          if (p.rank() == 0) pe.put_datatype(buf, buf, dt, 1, 1);
+          pe.barrier_all();
+        });
+    record(state, ns, dt->size());
+  }
+}
+BENCHMARK(BM_Shmem_PutDatatype_V)
+    ->Apply(small_matrix_sizes)->UseManualTime()->Iterations(1);
+
+}  // namespace
+}  // namespace gpuddt::bench
+
+GPUDDT_BENCH_MAIN();

@@ -55,6 +55,10 @@ struct EngineConfig {
   /// Nullable; the engine is silent when unset. Declared in obs/recorder.h
   /// (forward-declared via dev_cache.h).
   obs::Recorder* recorder = nullptr;
+  /// Rank that owns this engine, stamped as `pid` on its trace events so
+  /// the Chrome export groups engine stages under the right rank process.
+  /// -1 (standalone engines) falls back to the device id.
+  std::int32_t trace_pid = -1;
   /// Validate every DEV window and cached list against the datatype's
   /// bounds before launch (docs/checking.md). Tri-state: -1 follows the
   /// machine's access checker (on when an observer is attached), 0/1 force.

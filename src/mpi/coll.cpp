@@ -3,13 +3,67 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "obs/recorder.h"
 
 namespace gpuddt::mpi {
 
 namespace {
 
 constexpr int kCollTagBase = 0x2fff0000;
+
+/// Per-call observability for one collective on one rank: counters
+/// (docs/metrics.md `coll.*` family) plus one trace span covering the
+/// whole call. `sent()` tallies bytes this rank injects into the
+/// transport, split packed/contiguous by the datatype's layout and
+/// staged/direct by whether the algorithm bounces the payload through a
+/// host staging copy (the packed-stream reduce path) or hands user
+/// buffers straight to the point-to-point layer. The destructor emits,
+/// so early returns (leaf ranks) are covered.
+class CollSpan {
+ public:
+  CollSpan(Comm& comm, const char* op)
+      : comm_(comm),
+        rec_(comm.process().config().recorder),
+        op_(op),
+        begin_(comm.process().clock().now()) {}
+
+  void sent(std::int64_t bytes, bool contiguous, bool staged) {
+    bytes_ += bytes;
+    (contiguous ? contiguous_ : packed_) += bytes;
+    (staged ? staged_ : direct_) += bytes;
+  }
+
+  ~CollSpan() {
+    if (rec_ == nullptr) return;
+    const std::string prefix = std::string("coll.") + op_;
+    obs::count(rec_, prefix + ".calls");
+    obs::count(rec_, prefix + ".bytes", bytes_);
+    if (packed_ > 0) obs::count(rec_, "coll.bytes.packed", packed_);
+    if (contiguous_ > 0)
+      obs::count(rec_, "coll.bytes.contiguous", contiguous_);
+    if (staged_ > 0) obs::count(rec_, "coll.bytes.staged", staged_);
+    if (direct_ > 0) obs::count(rec_, "coll.bytes.direct", direct_);
+    obs::trace(rec_, {op_, "coll", begin_, comm_.process().clock().now(),
+                      comm_.rank(), bytes_, comm_.rank()});
+  }
+
+  CollSpan(const CollSpan&) = delete;
+  CollSpan& operator=(const CollSpan&) = delete;
+
+ private:
+  Comm& comm_;
+  obs::Recorder* rec_;
+  const char* op_;
+  std::int64_t begin_;
+  std::int64_t bytes_ = 0;
+  std::int64_t packed_ = 0;
+  std::int64_t contiguous_ = 0;
+  std::int64_t staged_ = 0;
+  std::int64_t direct_ = 0;
+};
 
 /// Element offset -> byte offset for block placement.
 std::int64_t block_off(const DatatypePtr& dt, std::int64_t elems) {
@@ -88,6 +142,9 @@ void Collectives::bcast(void* buf, std::int64_t count, const DatatypePtr& dt,
   const int rank = comm_.rank();
   const int tag = next_tag();
   if (size == 1 || count == 0 || dt->size() == 0) return;
+  CollSpan span(comm_, "bcast");
+  const std::int64_t block = dt->size() * count;
+  const bool contig = dt->is_contiguous(count);
   const int vrank = (rank - root + size) % size;
   // Binomial tree: receive from the parent, then forward to children.
   int mask = 1;
@@ -104,6 +161,7 @@ void Collectives::bcast(void* buf, std::int64_t count, const DatatypePtr& dt,
     if (vrank + mask < size) {
       const int child = (vrank + mask + root) % size;
       comm_.send(buf, count, dt, child, tag);
+      span.sent(block, contig, /*staged=*/false);
     }
     mask >>= 1;
   }
@@ -115,8 +173,12 @@ void Collectives::gather(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
+  CollSpan span(comm_, "gather");
+  const std::int64_t block = dt->size() * count;
+  const bool contig = dt->is_contiguous(count);
   if (rank != root) {
     comm_.send(sendbuf, count, dt, root, tag);
+    span.sent(block, contig, /*staged=*/false);
     return;
   }
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -129,6 +191,7 @@ void Collectives::gather(const void* sendbuf, void* recvbuf,
   // Own block: loop it through the transport so device buffers and
   // non-contiguous layouts are handled uniformly.
   reqs.push_back(comm_.isend(sendbuf, count, dt, rank, tag));
+  span.sent(block, contig, /*staged=*/false);
   reqs.push_back(
       comm_.irecv(out + block_off(dt, rank * count), count, dt, rank, tag));
   comm_.waitall(reqs);
@@ -140,6 +203,9 @@ void Collectives::scatter(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
+  CollSpan span(comm_, "scatter");
+  const std::int64_t block = dt->size() * count;
+  const bool contig = dt->is_contiguous(count);
   if (rank != root) {
     comm_.recv(recvbuf, count, dt, root, tag);
     return;
@@ -150,9 +216,11 @@ void Collectives::scatter(const void* sendbuf, void* recvbuf,
     if (r == rank) continue;
     reqs.push_back(
         comm_.isend(in + block_off(dt, r * count), count, dt, r, tag));
+    span.sent(block, contig, /*staged=*/false);
   }
   reqs.push_back(
       comm_.isend(in + block_off(dt, rank * count), count, dt, rank, tag));
+  span.sent(block, contig, /*staged=*/false);
   reqs.push_back(comm_.irecv(recvbuf, count, dt, rank, tag));
   comm_.waitall(reqs);
 }
@@ -162,10 +230,14 @@ void Collectives::allgather(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
+  CollSpan span(comm_, "allgather");
+  const std::int64_t block = dt->size() * count;
+  const bool contig = dt->is_contiguous(count);
   auto* out = static_cast<std::byte*>(recvbuf);
   // Place the local contribution (via the transport: uniform handling).
   {
     Request s = comm_.isend(sendbuf, count, dt, rank, tag);
+    span.sent(block, contig, /*staged=*/false);
     Request r =
         comm_.irecv(out + block_off(dt, rank * count), count, dt, rank, tag);
     comm_.wait(s);
@@ -181,6 +253,7 @@ void Collectives::allgather(const void* sendbuf, void* recvbuf,
                             dt, left, tag + 0x1000 + step);
     Request s = comm_.isend(out + block_off(dt, send_block * count), count,
                             dt, right, tag + 0x1000 + step);
+    span.sent(block, contig, /*staged=*/false);
     comm_.wait(r);
     comm_.wait(s);
   }
@@ -191,6 +264,9 @@ void Collectives::alltoall(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
+  CollSpan span(comm_, "alltoall");
+  const std::int64_t block = dt->size() * count;
+  const bool contig = dt->is_contiguous(count);
   const auto* in = static_cast<const std::byte*>(sendbuf);
   auto* out = static_cast<std::byte*>(recvbuf);
   // Pairwise exchange by rotation; k = 0 is the local block.
@@ -201,6 +277,7 @@ void Collectives::alltoall(const void* sendbuf, void* recvbuf,
                             from, tag + k);
     Request s =
         comm_.isend(in + block_off(dt, to * count), count, dt, to, tag + k);
+    span.sent(block, contig, /*staged=*/false);
     comm_.wait(r);
     comm_.wait(s);
   }
@@ -212,8 +289,10 @@ void Collectives::reduce(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
+  CollSpan span(comm_, "reduce");
   const Primitive prim = reduce_primitive(dt);
   const std::int64_t bytes = dt->size() * count;
+  const bool contig = dt->is_contiguous(count);
 
   // Work on the packed representation in host memory: pack the local
   // contribution, combine children's packed streams, unpack at the root.
@@ -232,6 +311,9 @@ void Collectives::reduce(const void* sendbuf, void* recvbuf,
     if (vrank & mask) {
       const int parent = (vrank - mask + root) % size;
       comm_.send(acc.data(), 1, packed, parent, tag);
+      // The payload crossed the wire as a host-staged packed stream, so
+      // it counts as staged regardless of the user layout.
+      span.sent(bytes, contig, /*staged=*/true);
       return;  // non-roots are done after forwarding
     }
     const int child_v = vrank + mask;
@@ -252,6 +334,9 @@ void Collectives::reduce(const void* sendbuf, void* recvbuf,
 void Collectives::allreduce(const void* sendbuf, void* recvbuf,
                             std::int64_t count, const DatatypePtr& dt,
                             ReduceOp op) {
+  // Bytes are accounted by the two sub-operations; the allreduce span
+  // only marks the composite call's extent in the timeline.
+  CollSpan span(comm_, "allreduce");
   reduce(sendbuf, recvbuf, count, dt, op, 0);
   bcast(recvbuf, count, dt, 0);
 }

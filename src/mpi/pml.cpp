@@ -380,7 +380,7 @@ void Pml::on_frag(AmMessage& m) {
     }
     req->last_frag_arrival = m.arrival;
     obs::trace(rec, {"frag", "pml", m.arrival, m.arrival, proc_.rank(),
-                     h.bytes});
+                     h.bytes, proc_.rank()});
   }
   if (req->space.space == sg::MemorySpace::kDevice) {
     proc_.runtime().gpu_plugin()->recv_on_frag(proc_, *req, h, data,

@@ -79,6 +79,8 @@ std::string Recorder::to_json() const {
     append_int(out, ev.end);
     out += ", \"tid\": ";
     append_int(out, ev.tid);
+    out += ", \"pid\": ";
+    append_int(out, ev.pid);
     out += ", \"arg0\": ";
     append_int(out, ev.arg0);
     out += "}";
@@ -87,12 +89,23 @@ std::string Recorder::to_json() const {
   return out;
 }
 
-bool Recorder::write_json(const std::string& path) const {
+namespace {
+
+bool write_file(const std::string& path, const std::string& doc) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string doc = to_json();
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+bool Recorder::write_json(const std::string& path) const {
+  return write_file(path, to_json());
+}
+
+bool Recorder::write_chrome_json(const std::string& path) const {
+  return write_file(path, to_chrome_json());
 }
 
 Recorder& default_recorder() {

@@ -36,6 +36,17 @@ class Recorder {
   /// to_json() into `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;
 
+  /// Serialize the trace buffer as a Chrome Trace Event Format JSON
+  /// array (chrome_trace_json, docs/tracing.md). Counters/histograms are
+  /// not part of this view - pair with write_json for the quantitative
+  /// half.
+  std::string to_chrome_json() const {
+    return chrome_trace_json(trace_.snapshot(), trace_.dropped());
+  }
+
+  /// to_chrome_json() into `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
   /// Drop all recorded data (between benchmark repetitions).
   void clear() {
     metrics_.clear();

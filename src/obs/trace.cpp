@@ -1,5 +1,13 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/json.h"
+
 namespace gpuddt::obs {
 
 void TraceBuffer::record(TraceEvent ev) {
@@ -21,6 +29,132 @@ void TraceBuffer::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Virtual ns -> Trace Event Format microseconds, fractional to keep the
+/// full nanosecond resolution ("%.3f" is exact for int64 nanoseconds).
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buf;
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+/// The named timeline row (Chrome `tid`) an event renders on. The
+/// pipeline stages of one op get one row each, so the §3.2/§4.1 overlap
+/// shows as parallel bars; everything else rows by subsystem (with a
+/// `layer:stage` split for dotted span names like "put.pack").
+std::string stage_row(const TraceEvent& ev) {
+  if (ev.cat == "engine") {
+    if (ev.name == "convert_chunk") return "conv";
+    if (ev.name == "desc_upload") return "H2D desc";
+    if (ev.name == "dev_kernel" || ev.name == "vector_kernel")
+      return "kernel";
+  }
+  if (ev.cat == "pml" && ev.name == "frag") return "wire";
+  if (ev.cat == "gpu") {
+    if (ev.name == "rdma_frag") return "RDMA GET";
+    if (ev.name == "host_frag_unpack") return "unpack";
+  }
+  const auto dot = ev.name.rfind('.');
+  if (dot != std::string::npos && dot + 1 < ev.name.size())
+    return ev.cat + ":" + ev.name.substr(dot + 1);
+  return ev.cat;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::vector<TraceEvent> events,
+                              std::int64_t dropped) {
+  // Sort by begin time so `ts` is monotone non-decreasing - viewers do
+  // not require it, but it makes the array diffable and lets shape checks
+  // (metrics_diff --validate-chrome) assert ordering.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.begin < b.begin;
+                   });
+
+  // Stable row numbering: the engine/protocol pipeline stages get fixed
+  // ids so the viewer always stacks them in pipeline order; other rows
+  // number by first appearance (deterministic: events are sorted).
+  std::map<std::string, int> row_ids{{"conv", 0},     {"H2D desc", 1},
+                                     {"kernel", 2},   {"wire", 3},
+                                     {"RDMA GET", 4}, {"unpack", 5}};
+  int next_row = 6;
+  // (pid, tid) -> row name, for the thread_name metadata events.
+  std::map<std::pair<int, int>, std::string> named_rows;
+
+  std::string body;
+  body.reserve(events.size() * 96);
+  std::int64_t last_end = 0;
+  for (const TraceEvent& ev : events) {
+    const int pid = ev.pid >= 0 ? ev.pid : (ev.tid >= 0 ? ev.tid : 0);
+    const std::string row = stage_row(ev);
+    auto [it, inserted] = row_ids.try_emplace(row, next_row);
+    if (inserted) ++next_row;
+    const int tid = it->second;
+    named_rows.try_emplace({pid, tid}, row);
+    last_end = std::max(last_end, ev.end);
+
+    body += ",\n{\"name\": \"" + json::escape(ev.name) + "\", \"cat\": \"" +
+            json::escape(ev.cat) + "\", \"ph\": \"X\", \"ts\": ";
+    append_us(body, ev.begin);
+    body += ", \"dur\": ";
+    append_us(body, std::max<std::int64_t>(0, ev.end - ev.begin));
+    body += ", \"pid\": ";
+    append_int(body, pid);
+    body += ", \"tid\": ";
+    append_int(body, tid);
+    body += ", \"args\": {\"arg0\": ";
+    append_int(body, ev.arg0);
+    body += "}}";
+  }
+  if (dropped > 0) {
+    // A truncated timeline must never read as a complete one: flag the
+    // buffer-cap overflow as a global instant event at the trace's end.
+    body += ",\n{\"name\": \"trace_truncated\", \"cat\": \"obs\", "
+            "\"ph\": \"i\", \"ts\": ";
+    append_us(body, last_end);
+    body += ", \"pid\": 0, \"tid\": 0, \"s\": \"g\", "
+            "\"args\": {\"dropped\": ";
+    append_int(body, dropped);
+    body += "}}";
+  }
+
+  // Metadata first: name every rank process and every stage row.
+  std::string out = "[";
+  bool first = true;
+  int last_pid = -1;
+  for (const auto& [key, row] : named_rows) {
+    const auto [pid, tid] = key;
+    if (pid != last_pid) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": ";
+      append_int(out, pid);
+      out += ", \"tid\": 0, \"args\": {\"name\": \"rank ";
+      append_int(out, pid);
+      out += "\"}}";
+      last_pid = pid;
+    }
+    out += ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": ";
+    append_int(out, pid);
+    out += ", \"tid\": ";
+    append_int(out, tid);
+    out += ", \"args\": {\"name\": \"" + json::escape(row) + "\"}}";
+  }
+  if (first && !body.empty()) body.erase(0, 1);  // no metadata: drop comma
+  out += body;
+  out += "\n]\n";
+  return out;
 }
 
 }  // namespace gpuddt::obs

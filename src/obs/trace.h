@@ -27,6 +27,7 @@ struct TraceEvent {
   std::int64_t end = 0;   // virtual ns
   std::int32_t tid = -1;  // rank (pml events) or device (engine events)
   std::int64_t arg0 = 0;  // stage-specific (bytes, unit count, frag index)
+  std::int32_t pid = -1;  // owning rank when known (-1: fall back to tid)
 };
 
 class TraceBuffer {
@@ -57,5 +58,16 @@ class TraceBuffer {
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
 };
+
+/// Serialize trace events as a Chrome Trace Event Format JSON array
+/// (docs/tracing.md) that loads directly in chrome://tracing or Perfetto:
+/// one `ph:"X"` complete event per TraceEvent with `ts`/`dur` in
+/// microseconds of virtual time (fractional, so the nanosecond clock is
+/// preserved), the owning rank as `pid`, and protocol stages (conv,
+/// H2D desc, kernel, wire, RDMA GET, unpack, ...) as named `tid` rows.
+/// Events are sorted by begin time, so `ts` is monotone non-decreasing.
+/// When `dropped > 0` a final instant event flags the truncation.
+std::string chrome_trace_json(std::vector<TraceEvent> events,
+                              std::int64_t dropped);
 
 }  // namespace gpuddt::obs

@@ -74,7 +74,8 @@ class ScopedStagingRegistration {
   const void* p_;
 };
 
-core::EngineConfig engine_config(const mpi::RuntimeConfig& cfg) {
+core::EngineConfig engine_config(const mpi::RuntimeConfig& cfg,
+                                 std::int32_t trace_pid) {
   core::EngineConfig e;
   e.unit_bytes = cfg.dev_unit_bytes;
   e.cache_enabled = cfg.dev_cache_enabled;
@@ -82,6 +83,7 @@ core::EngineConfig engine_config(const mpi::RuntimeConfig& cfg) {
   e.kernel_blocks = cfg.gpu_kernel_blocks;
   e.pipeline_conversion = cfg.dev_pipeline_conversion;
   e.recorder = cfg.recorder;
+  e.trace_pid = trace_pid;
   return e;
 }
 
@@ -148,7 +150,7 @@ GpuDatatypePlugin::PerRank& GpuDatatypePlugin::per_rank(mpi::Process& p) {
   if (!slot) {
     slot = std::make_unique<PerRank>();
     slot->engine = std::make_unique<core::GpuDatatypeEngine>(
-        p.gpu(), engine_config(p.config()));
+        p.gpu(), engine_config(p.config(), p.rank()));
   }
   return *slot;
 }
@@ -796,7 +798,7 @@ void GpuDatatypePlugin::on_frag_ready(mpi::Process& p, mpi::AmMessage& m) {
     req->last_frag_arrival = m.arrival;
     obs::observe(rec, "gpu.frag.unpack_ns", st->last_ready - m.arrival);
     obs::trace(rec, {"rdma_frag", "gpu", m.arrival, st->last_ready,
-                     p.rank(), h.bytes});
+                     p.rank(), h.bytes, p.rank()});
   }
 
   FragFreeHeader ack;
@@ -878,8 +880,9 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
     // add the device-side unpack latency of this fragment.
     obs::observe(p.config().recorder, "gpu.frag.unpack_ns",
                  st->last_ready - arrival);
-    obs::trace(p.config().recorder, {"host_frag_unpack", "gpu", arrival,
-                                     st->last_ready, p.rank(), hdr.bytes});
+    obs::trace(p.config().recorder,
+               {"host_frag_unpack", "gpu", arrival, st->last_ready, p.rank(),
+                hdr.bytes, p.rank()});
   }
 
   if (hdr.last) {

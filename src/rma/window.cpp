@@ -4,6 +4,9 @@
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+
+#include "obs/recorder.h"
 
 namespace gpuddt::rma {
 
@@ -13,13 +16,44 @@ namespace {
 // virtual time is unaffected (the cost model already serializes nothing
 // here, matching MPI's undefined ordering).
 std::mutex g_accumulate_mu;
+
+/// One-sided-op observability (docs/metrics.md `rma.*` family): call and
+/// byte counters split contiguous/packed by the layouts on both sides and
+/// by where the staging copy lives, plus one trace span per call. `end`
+/// is the op's virtual completion (the epoch-horizon contribution), so
+/// spans from back-to-back puts overlap in the timeline exactly as the
+/// fence sees them.
+void record_rma(mpi::Comm& comm, const char* op, vt::Time begin,
+                vt::Time end, std::int64_t bytes, bool contiguous,
+                bool device_staging) {
+  obs::Recorder* rec = comm.process().config().recorder;
+  if (rec == nullptr) return;
+  const std::string prefix = std::string("rma.") + op;
+  obs::count(rec, prefix + ".calls");
+  obs::count(rec, prefix + ".bytes", bytes);
+  if (bytes > 0) {
+    obs::count(rec,
+               contiguous ? "rma.bytes.contiguous" : "rma.bytes.packed",
+               bytes);
+    obs::count(rec,
+               device_staging ? "rma.bytes.staged_device"
+                              : "rma.bytes.staged_host",
+               bytes);
+  }
+  obs::trace(rec,
+             {op, "rma", begin, end, comm.rank(), bytes, comm.rank()});
+}
 }  // namespace
 
 using Dir = core::GpuDatatypeEngine::Dir;
 
 Window::Window(mpi::Comm comm, void* base, std::int64_t bytes)
     : comm_(comm), coll_(comm) {
-  engine_ = std::make_unique<core::GpuDatatypeEngine>(comm_.process().gpu());
+  core::EngineConfig ec;
+  ec.recorder = comm_.process().config().recorder;
+  ec.trace_pid = comm_.rank();
+  engine_ =
+      std::make_unique<core::GpuDatatypeEngine>(comm_.process().gpu(), ec);
   // Collective creation: exchange window bases and sizes.
   const int n = comm_.size();
   bases_.resize(static_cast<std::size_t>(n));
@@ -43,11 +77,14 @@ Window::Window(mpi::Comm comm, void* base, std::int64_t bytes)
 void Window::fence() {
   // Remote completion: every rank's epoch horizon must have passed for
   // everyone before the epoch may close.
+  const vt::Time t_begin = comm_.process().clock().now();
   std::int64_t mine = epoch_horizon_;
   std::int64_t global = 0;
   coll_.allreduce(&mine, &global, 1, mpi::kInt64(), mpi::ReduceOp::kMax);
   comm_.process().clock().wait_until(global);
   epoch_horizon_ = 0;
+  record_rma(comm_, "fence", t_begin, comm_.process().clock().now(),
+             /*bytes=*/0, /*contiguous=*/true, /*device_staging=*/false);
 }
 
 std::byte* Window::target_ptr(int target, std::int64_t disp,
@@ -120,6 +157,7 @@ void Window::put(const void* origin, std::int64_t origin_count,
       target_dt->true_lb() + target_dt->true_extent() +
           (target_count - 1) * target_dt->extent());
   mpi::Process& p = comm_.process();
+  const vt::Time t_begin = p.clock().now();
   // Stage through a contiguous buffer on the origin's device (or host if
   // neither side is device-resident): pack, then scatter into the target
   // layout - both halves driven by the origin.
@@ -139,6 +177,10 @@ void Window::put(const void* origin, std::int64_t origin_count,
   const vt::Time done =
       unpack_from(staging, tptr, target_count, target_dt, packed);
   epoch_horizon_ = std::max(epoch_horizon_, done);
+  record_rma(comm_, "put", t_begin, done, total,
+             origin_dt->is_contiguous(origin_count) &&
+                 target_dt->is_contiguous(target_count),
+             any_device);
   if (any_device) sg::Free(p.gpu(), staging);
 }
 
@@ -155,6 +197,7 @@ void Window::get(void* origin, std::int64_t origin_count,
       target_dt->true_lb() + target_dt->true_extent() +
           (target_count - 1) * target_dt->extent());
   mpi::Process& p = comm_.process();
+  const vt::Time t_begin = p.clock().now();
   const bool any_device = p.runtime().machine().is_device_ptr(origin) ||
                           p.runtime().machine().is_device_ptr(tptr);
   std::byte* staging;
@@ -172,6 +215,10 @@ void Window::get(void* origin, std::int64_t origin_count,
       unpack_from(staging, origin, origin_count, origin_dt, fetched);
   epoch_horizon_ = std::max(epoch_horizon_, done);
   p.clock().wait_until(done);  // a get is locally complete when it returns
+  record_rma(comm_, "get", t_begin, done, total,
+             origin_dt->is_contiguous(origin_count) &&
+                 target_dt->is_contiguous(target_count),
+             any_device);
   if (any_device) sg::Free(p.gpu(), staging);
 }
 
@@ -192,6 +239,7 @@ void Window::accumulate(const void* origin, std::int64_t origin_count,
       target_dt->true_lb() + target_dt->true_extent() +
           (target_count - 1) * target_dt->extent());
   mpi::Process& p = comm_.process();
+  const vt::Time t_begin = p.clock().now();
 
   // Read-modify-write on the packed representation, staged through host
   // memory (where the ALU work happens).
@@ -239,6 +287,10 @@ void Window::accumulate(const void* origin, std::int64_t origin_count,
   const vt::Time done = unpack_from(theirs.data(), tptr, target_count,
                                     target_dt, std::max(t2, p.clock().now()));
   epoch_horizon_ = std::max(epoch_horizon_, done);
+  record_rma(comm_, "accumulate", t_begin, done, total,
+             origin_dt->is_contiguous(origin_count) &&
+                 target_dt->is_contiguous(target_count),
+             /*device_staging=*/false);
 }
 
 }  // namespace gpuddt::rma

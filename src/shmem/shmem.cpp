@@ -2,10 +2,42 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "mpi/pml.h"
+#include "obs/recorder.h"
 
 namespace gpuddt::shmem {
+
+namespace {
+
+/// The initiator-side engine carries the PE's rank so its kernel trace
+/// events land under the right rank process in the Chrome export.
+core::EngineConfig pe_engine_cfg(mpi::Process& p) {
+  core::EngineConfig ec;
+  ec.recorder = p.config().recorder;
+  ec.trace_pid = p.rank();
+  return ec;
+}
+
+/// One-sided-op observability (docs/metrics.md `shmem.*` family): call +
+/// byte counters, bytes split direct (RDMA straight from/to symmetric
+/// memory) vs. staged (datatype ops bounced through a packed device
+/// staging buffer), plus one trace span per call.
+void record_shmem(mpi::Process& p, const char* op, vt::Time begin,
+                  vt::Time end, std::int64_t bytes, bool staged) {
+  obs::Recorder* rec = p.config().recorder;
+  if (rec == nullptr) return;
+  const std::string prefix = std::string("shmem.") + op;
+  obs::count(rec, prefix + ".calls");
+  obs::count(rec, prefix + ".bytes", bytes);
+  if (bytes > 0)
+    obs::count(rec, staged ? "shmem.bytes.staged" : "shmem.bytes.direct",
+               bytes);
+  obs::trace(rec, {op, "shmem", begin, end, p.rank(), bytes, p.rank()});
+}
+
+}  // namespace
 
 SymmetricHeap::SymmetricHeap(mpi::Runtime& rt, std::size_t bytes_per_pe)
     : bytes_per_pe_(bytes_per_pe) {
@@ -22,7 +54,7 @@ SymmetricHeap::SymmetricHeap(mpi::Runtime& rt, std::size_t bytes_per_pe)
 }
 
 Pe::Pe(mpi::Process& p, SymmetricHeap& heap)
-    : proc_(p), heap_(heap), engine_(p.gpu()) {}
+    : proc_(p), heap_(heap), engine_(p.gpu(), pe_engine_cfg(p)) {}
 
 void* Pe::malloc(std::size_t bytes) {
   const std::size_t aligned = (bytes + 511) / 512 * 512;
@@ -57,20 +89,28 @@ void Pe::getmem(void* dest, const void* src, std::size_t bytes, int pe) {
 
 void Pe::putmem_nbi(void* dest, const void* src, std::size_t bytes, int pe) {
   std::byte* remote = translate(dest, pe);
-  const vt::Time t = btl_to(pe).rdma_put(proc_, pe, remote, src, bytes,
-                                         proc_.clock().now());
+  const vt::Time begin = proc_.clock().now();
+  const vt::Time t =
+      btl_to(pe).rdma_put(proc_, pe, remote, src, bytes, begin);
   last_nbi_ = std::max(last_nbi_, t);
+  record_shmem(proc_, "put", begin, t,
+               static_cast<std::int64_t>(bytes), /*staged=*/false);
 }
 
 void Pe::getmem_nbi(void* dest, const void* src, std::size_t bytes, int pe) {
   const std::byte* remote = translate(src, pe);
-  const vt::Time t = btl_to(pe).rdma_get(proc_, pe, dest, remote, bytes,
-                                         proc_.clock().now());
+  const vt::Time begin = proc_.clock().now();
+  const vt::Time t =
+      btl_to(pe).rdma_get(proc_, pe, dest, remote, bytes, begin);
   last_nbi_ = std::max(last_nbi_, t);
+  record_shmem(proc_, "get", begin, t,
+               static_cast<std::int64_t>(bytes), /*staged=*/false);
 }
 
 void Pe::iput(void* dest, const void* src, std::int64_t dst, std::int64_t sst,
               std::size_t n, std::size_t elem, int pe) {
+  // Bytes are tallied by the per-element shmem.put records.
+  obs::count(proc_.config().recorder, "shmem.iput.calls");
   auto* d = static_cast<std::byte*>(dest);
   const auto* s = static_cast<const std::byte*>(src);
   for (std::size_t i = 0; i < n; ++i) {
@@ -85,6 +125,7 @@ void Pe::iput(void* dest, const void* src, std::int64_t dst, std::int64_t sst,
 
 void Pe::iget(void* dest, const void* src, std::int64_t dst, std::int64_t sst,
               std::size_t n, std::size_t elem, int pe) {
+  obs::count(proc_.config().recorder, "shmem.iget.calls");
   auto* d = static_cast<std::byte*>(dest);
   const auto* s = static_cast<const std::byte*>(src);
   for (std::size_t i = 0; i < n; ++i) {
@@ -102,6 +143,7 @@ void Pe::put_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   using Dir = core::GpuDatatypeEngine::Dir;
   const std::int64_t total = dt->size() * count;
   if (total == 0) return;
+  const vt::Time begin = proc_.clock().now();
   // Pack locally with the GPU engine, ship the packed stream one-sided,
   // and unpack into the peer's symmetric memory (also with OUR engine:
   // one-sided means the target does not participate - the paper's "ideas
@@ -130,6 +172,7 @@ void Pe::put_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   }
   engine_.finish(*unpack);
   last_nbi_ = std::max(last_nbi_, ready);
+  record_shmem(proc_, "put_datatype", begin, ready, total, /*staged=*/true);
   sg::Free(proc_.gpu(), staging);
   quiet();
 }
@@ -139,6 +182,7 @@ void Pe::get_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   using Dir = core::GpuDatatypeEngine::Dir;
   const std::int64_t total = dt->size() * count;
   if (total == 0) return;
+  const vt::Time begin = proc_.clock().now();
   auto* staging =
       static_cast<std::byte*>(sg::Malloc(proc_.gpu(), total));
   const std::byte* remote = translate(src, pe);
@@ -162,6 +206,7 @@ void Pe::get_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   }
   engine_.finish(*unpack);
   last_nbi_ = std::max(last_nbi_, ready);
+  record_shmem(proc_, "get_datatype", begin, ready, total, /*staged=*/true);
   sg::Free(proc_.gpu(), staging);
   quiet();
 }

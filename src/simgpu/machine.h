@@ -201,6 +201,13 @@ class Machine {
   /// The attached access observer; null when checking is disabled.
   AccessObserver* observer() const { return observer_.get(); }
 
+  /// Replace the access observer (tests install byte-accounting sinks;
+  /// null detaches). Swap only while no device work is in flight - the
+  /// new observer starts with no access history.
+  void set_observer(std::unique_ptr<AccessObserver> obs) {
+    observer_ = std::move(obs);
+  }
+
  private:
   struct HostBlock {
     std::unique_ptr<std::byte[]> storage;

@@ -205,6 +205,101 @@ TEST(Canon, StableNumberFormatting) {
   EXPECT_NE(text.find("\"mean\":1.5"), std::string::npos);
 }
 
+TEST(ChromeTrace, RoundTripsThroughParser) {
+  // A recorded op must export as a parseable Chrome Trace Event Format
+  // array: ph:"X" complete events with monotone ts, non-negative dur,
+  // the rank as pid, and named stage rows (docs/tracing.md).
+  Recorder rec;
+  rec.enable_tracing();
+  // Deliberately out of order and with a negative-duration input event:
+  // the exporter must sort and clamp.
+  trace(&rec, {"convert_chunk", "engine", 3000, 5000, 0, 64, 1});
+  trace(&rec, {"dev_kernel", "engine", 1000, 500, 0, 32, 1});
+  trace(&rec, {"frag", "pml", 2000, 2000, 0, 4096, 0});
+  trace(&rec, {"put", "rma", 500, 9000, 1, 1 << 20, 1});
+  const json::Value doc = json::parse(rec.to_chrome_json());
+  ASSERT_TRUE(doc.is_array());
+  std::int64_t last_ts = -1;
+  int complete = 0;
+  for (const json::Value& ev : doc.as_array()) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph != "X") continue;
+    ++complete;
+    EXPECT_GE(ev.at("ts").as_double(), static_cast<double>(last_ts));
+    last_ts = ev.at("ts").as_int();
+    EXPECT_GE(ev.at("dur").as_double(), 0.0);
+    EXPECT_GE(ev.at("pid").as_int(), 0);
+  }
+  EXPECT_EQ(complete, 4);
+  // ts/dur are microseconds with the nanosecond clock preserved as the
+  // fractional part: 500ns -> 0.5us.
+  const std::string text = rec.to_chrome_json();
+  EXPECT_NE(text.find("\"ts\": 0.500"), std::string::npos);
+  // Rank as pid: the engine events carried pid=1 even though their tid
+  // field holds the device.
+  bool engine_on_pid1 = false;
+  for (const json::Value& ev : doc.as_array())
+    if (ev.at("ph").as_string() == "X" &&
+        ev.at("cat").as_string() == "engine" && ev.at("pid").as_int() == 1)
+      engine_on_pid1 = true;
+  EXPECT_TRUE(engine_on_pid1);
+}
+
+TEST(ChromeTrace, NamesStageRowsAndProcesses) {
+  Recorder rec;
+  rec.enable_tracing();
+  trace(&rec, {"convert_chunk", "engine", 0, 10, 0, 1, 0});
+  trace(&rec, {"rdma_frag", "gpu", 5, 20, 1, 1, 1});
+  const json::Value doc = json::parse(rec.to_chrome_json());
+  bool saw_conv = false, saw_rdma = false, saw_proc = false;
+  for (const json::Value& ev : doc.as_array()) {
+    if (ev.at("ph").as_string() != "M") continue;
+    const std::string& name = ev.at("name").as_string();
+    const std::string& arg = ev.at("args").at("name").as_string();
+    if (name == "thread_name" && arg == "conv") saw_conv = true;
+    if (name == "thread_name" && arg == "RDMA GET") saw_rdma = true;
+    if (name == "process_name" && arg == "rank 1") saw_proc = true;
+  }
+  EXPECT_TRUE(saw_conv);
+  EXPECT_TRUE(saw_rdma);
+  EXPECT_TRUE(saw_proc);
+}
+
+TEST(ChromeTrace, EmptyAndTruncatedBuffers) {
+  Recorder rec;
+  const json::Value empty = json::parse(rec.to_chrome_json());
+  ASSERT_TRUE(empty.is_array());
+  EXPECT_TRUE(empty.as_array().empty());
+  // A full buffer must flag the truncation as an instant event.
+  TraceBuffer tiny(/*max_events=*/1);
+  tiny.enable();
+  tiny.record({"a", "c", 0, 1, 0, 0});
+  tiny.record({"b", "c", 1, 2, 0, 0});
+  const json::Value doc =
+      json::parse(chrome_trace_json(tiny.snapshot(), tiny.dropped()));
+  bool truncated = false;
+  for (const json::Value& ev : doc.as_array())
+    if (ev.at("ph").as_string() == "i" &&
+        ev.at("name").as_string() == "trace_truncated" &&
+        ev.at("args").at("dropped").as_int() == 1)
+      truncated = true;
+  EXPECT_TRUE(truncated);
+}
+
+TEST(ChromeTrace, WriteChromeJsonProducesParsableFile) {
+  Recorder rec;
+  rec.enable_tracing();
+  trace(&rec, {"put", "shmem", 100, 200, 0, 64, 0});
+  const std::string path = "chrome_trace_test.json";
+  ASSERT_TRUE(rec.write_chrome_json(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const json::Value doc = json::parse(ss.str());
+  ASSERT_TRUE(doc.is_array());
+  std::remove(path.c_str());
+}
+
 TEST(Recorder, GuardedHelpersIgnoreNull) {
   // The instrumentation sites pass nullable pointers; null must be a
   // silent no-op (production default).

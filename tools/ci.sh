@@ -32,13 +32,21 @@ run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-# 4. Determinism sweep: every benchmark binary must double-run to
+# 4. Chrome-trace export end to end: generate a trace from one pipelined
+#    benchmark and shape-check it (array, monotone ts, non-negative dur;
+#    docs/tracing.md). Perfetto/chrome://tracing load exactly this file.
+run build/bench/bench_fig9_pcie_pingpong \
+  "--benchmark_filter=BM_Fig9_V/1024/" --trace-format=chrome \
+  --trace-out=build/ci_chrome_trace.json
+run build/tools/metrics_diff --validate-chrome build/ci_chrome_trace.json
+
+# 5. Determinism sweep: every benchmark binary must double-run to
 #    byte-identical canonical metrics (the in-suite bench_determinism
 #    ctest entry covers one binary; this covers them all). The checked-in
 #    baseline gates (bench_baseline_gate*) already ran as part of ctest.
 run build/tools/determinism_check build/bench/bench_*
 
-# 5. Lint (no-op with a notice when clang-tidy is not installed).
+# 6. Lint (no-op with a notice when clang-tidy is not installed).
 run cmake --build build --target lint
 
 echo "== ci.sh: all configurations passed =="

@@ -7,8 +7,17 @@
 //       deltas. Exits 0 whether or not anything changed.
 //   metrics_diff --validate FILE KEY...
 //       Parse FILE, check the schema marker, and require each KEY to be
-//       present as a counter or histogram. Exits 1 on any failure (used
-//       by the bench_metrics_validate CTest entry).
+//       present as a counter or histogram. Additionally every metric in
+//       the dump must belong to a known counter family (engine.,
+//       dev_cache., check., pml., gpu., coll., rma., shmem.) - an
+//       unknown prefix means an instrumentation site invented a family
+//       without documenting it in docs/metrics.md. Exits 1 on any
+//       failure (used by the bench_metrics_validate CTest entry).
+//   metrics_diff --validate-chrome FILE
+//       Parse FILE as a Chrome Trace Event Format array (the
+//       --trace-format=chrome output; docs/tracing.md) and check its
+//       shape: a JSON array whose "X" events carry non-negative dur and
+//       monotone non-decreasing ts. Exits 1 on any failure.
 //   metrics_diff --gate A.json B.json KEY<=PCT...
 //       Regression gate: for each KEY (counter or histogram mean), require
 //       the candidate B not to exceed the baseline A by more than PCT
@@ -56,6 +65,22 @@ void check_schema(const Value& doc, const std::string& path) {
   }
 }
 
+/// Every counter family a dump may legally contain. One family per
+/// instrumented layer; docs/metrics.md documents each. Adding an
+/// instrumentation site with a new prefix requires extending this list
+/// (and the docs) in the same change.
+constexpr const char* kKnownFamilies[] = {
+    "engine.", "dev_cache.", "check.", "pml.",
+    "gpu.",    "coll.",      "rma.",   "shmem.",
+};
+
+bool known_family(const std::string& name) {
+  for (const char* fam : kKnownFamilies) {
+    if (name.rfind(fam, 0) == 0) return true;
+  }
+  return false;
+}
+
 int validate(const std::string& path, int nkeys, char** keys) {
   const Value doc = load(path);
   check_schema(doc, path);
@@ -69,12 +94,59 @@ int validate(const std::string& path, int nkeys, char** keys) {
       ++missing;
     }
   }
-  if (missing > 0) {
-    std::cerr << path << ": " << missing << " required metric(s) missing\n";
+  int unknown = 0;
+  for (const auto* section : {&counters, &histos}) {
+    for (const auto& kv : *section) {
+      if (!known_family(kv.first)) {
+        std::cerr << "unknown counter family: " << kv.first << "\n";
+        ++unknown;
+      }
+    }
+  }
+  if (missing > 0 || unknown > 0) {
+    std::cerr << path << ": " << missing << " required metric(s) missing, "
+              << unknown << " metric(s) outside the known families\n";
     return 1;
   }
   std::cout << path << ": ok (" << counters.size() << " counters, "
             << histos.size() << " histograms)\n";
+  return 0;
+}
+
+/// Shape check for --trace-format=chrome output (docs/tracing.md).
+int validate_chrome(const std::string& path) {
+  const Value doc = load(path);
+  if (!doc.is_array()) {
+    std::cerr << path << ": not a JSON array\n";
+    return 1;
+  }
+  int complete = 0;
+  double last_ts = 0.0;
+  bool have_ts = false;
+  for (const Value& ev : doc.as_array()) {
+    if (!ev.is_object() || !ev.contains("ph") || !ev.contains("name") ||
+        !ev.contains("pid") || !ev.contains("tid")) {
+      std::cerr << path << ": event missing ph/name/pid/tid\n";
+      return 1;
+    }
+    if (ev.at("ph").as_string() != "X") continue;
+    ++complete;
+    const double ts = ev.at("ts").as_double();
+    const double dur = ev.at("dur").as_double();
+    if (dur < 0.0) {
+      std::cerr << path << ": negative dur at ts " << ts << "\n";
+      return 1;
+    }
+    if (have_ts && ts < last_ts) {
+      std::cerr << path << ": ts not monotone (" << ts << " after "
+                << last_ts << ")\n";
+      return 1;
+    }
+    last_ts = ts;
+    have_ts = true;
+  }
+  std::cout << path << ": ok (" << doc.as_array().size() << " events, "
+            << complete << " complete)\n";
   return 0;
 }
 
@@ -269,6 +341,9 @@ int main(int argc, char** argv) {
     if (argc >= 3 && std::strcmp(argv[1], "--validate") == 0) {
       return validate(argv[2], argc - 3, argv + 3);
     }
+    if (argc == 3 && std::strcmp(argv[1], "--validate-chrome") == 0) {
+      return validate_chrome(argv[2]);
+    }
     if (argc == 5 && std::strcmp(argv[1], "--gate") == 0 &&
         std::strcmp(argv[2], "--baseline") == 0) {
       return gate_baseline(argv[3], argv[4]);
@@ -286,6 +361,7 @@ int main(int argc, char** argv) {
   }
   std::cerr << "usage: metrics_diff A.json B.json\n"
                "       metrics_diff --validate FILE KEY...\n"
+               "       metrics_diff --validate-chrome FILE\n"
                "       metrics_diff --gate A.json B.json KEY<=PCT...\n"
                "       metrics_diff --gate --baseline BASE.json CAND.json\n"
                "       metrics_diff --canon FILE\n";

@@ -20,6 +20,8 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 BASELINES=(
   "fig10_sm_1gpu_t_256|bench_fig10_pingpong|BM_Fig10_SM_1GPU_T/256/"
   "fig9_pcie_pingpong|bench_fig9_pcie_pingpong|"
+  "coll_datatype|bench_coll_datatype|"
+  "onesided|bench_onesided|"
 )
 
 binaries=(metrics_diff)
