@@ -76,23 +76,27 @@ inline void record(benchmark::State& state, vt::Time virtual_ns,
 }
 
 /// Shared main: strips `--metrics-out=FILE`, `--trace`,
-/// `--trace-format=chrome|v1`, `--trace-out=FILE`, `--check` and
-/// `--check-out=FILE` before handing the rest to google-benchmark, then
-/// dumps the process-global recorder (which the harness feeds when specs
-/// carry no recorder of their own) as JSON. `--trace-format=chrome` (or
-/// any `--trace-out=`) implies `--trace` and writes the trace buffer as a
-/// Chrome Trace Event Format array (docs/tracing.md) to `--trace-out`
-/// (default `trace.json`), loadable in chrome://tracing or Perfetto;
-/// `--trace-format=v1` keeps trace events inline in the `--metrics-out`
-/// document, the pre-existing behaviour of bare `--trace`. `--check`
-/// turns the access checker on for every machine the run creates;
-/// `--check-out` also writes the gpuddt-check-v1 diagnostic report
-/// (docs/checking.md). Returns the usual benchmark exit status.
+/// `--trace-format=chrome|v1`, `--trace-out=FILE`, `--profile`,
+/// `--check` and `--check-out=FILE` before handing the rest to
+/// google-benchmark, then dumps the process-global recorder (which the
+/// harness feeds when specs carry no recorder of their own) as JSON.
+/// `--trace-format=chrome` (or any `--trace-out=`) implies `--trace` and
+/// writes the trace buffer as a Chrome Trace Event Format array
+/// (docs/tracing.md) to `--trace-out` (default `trace.json`), loadable
+/// in chrome://tracing or Perfetto; `--trace-format=v1` keeps trace
+/// events inline in the `--metrics-out` document, the pre-existing
+/// behaviour of bare `--trace`. `--profile` implies `--trace` and prints
+/// the per-rank stage-utilization table (obs::stage_profile_table) to
+/// stdout after the run. `--check` turns the access checker on for every
+/// machine the run creates; `--check-out` also writes the
+/// gpuddt-check-v1 diagnostic report (docs/checking.md). Returns the
+/// usual benchmark exit status.
 inline int bench_main(int argc, char** argv) {
   std::string metrics_out;
   std::string check_out;
   std::string trace_format;
   std::string trace_out;
+  bool profile = false;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -105,6 +109,9 @@ inline int bench_main(int argc, char** argv) {
       obs::default_recorder().enable_tracing(true);
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
+      obs::default_recorder().enable_tracing(true);
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
       obs::default_recorder().enable_tracing(true);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check::set_forced(true);
@@ -128,6 +135,12 @@ inline int bench_main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (profile) {
+    std::fputs(
+        obs::stage_profile_table(obs::default_recorder().trace().snapshot())
+            .c_str(),
+        stdout);
+  }
   if (chrome) {
     const std::string path = trace_out.empty() ? "trace.json" : trace_out;
     if (!obs::default_recorder().write_chrome_json(path)) {

@@ -97,7 +97,8 @@ vt::Time GpuDatatypeEngine::launch(Op& op, std::span<const CudaDevDist> units,
   }
   obs::trace(cfg_.recorder,
              {"dev_kernel", "engine", queued, ready, ctx_.device,
-              static_cast<std::int64_t>(units.size()), cfg_.trace_pid});
+              static_cast<std::int64_t>(units.size()), cfg_.trace_pid,
+              op.flow_});
   return ready;
 }
 
@@ -128,7 +129,7 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_vector(
              hi - lo);
   obs::trace(cfg_.recorder,
              {"vector_kernel", "engine", queued, ready, ctx_.device, hi - lo,
-              cfg_.trace_pid});
+              cfg_.trace_pid, op.flow_});
   return {hi - lo, ready};
 }
 
@@ -157,7 +158,7 @@ void GpuDatatypeEngine::convert_chunk(Op& op, std::size_t limit) {
       std::clamp<vt::Time>(kernel_stream_.tail() - t0, 0, adv);
   obs::trace(cfg_.recorder,
              {"convert_chunk", "engine", t0, t0 + adv, ctx_.device,
-              static_cast<std::int64_t>(n), cfg_.trace_pid});
+              static_cast<std::int64_t>(n), cfg_.trace_pid, op.flow_});
   if (op.fill_cache_)
     op.accum_.insert(op.accum_.end(), op.staged_.begin() + old,
                      op.staged_.end());
@@ -193,7 +194,7 @@ const CudaDevDist* GpuDatatypeEngine::upload_descriptors(
   obs::count(cfg_.recorder, "engine.desc_upload_bytes", bytes);
   obs::trace(cfg_.recorder,
              {"desc_upload", "engine", t0, done, ctx_.device, bytes,
-              cfg_.trace_pid});
+              cfg_.trace_pid, op.flow_});
   return static_cast<const CudaDevDist*>(op.desc_dev_[slot]);
 }
 

@@ -101,6 +101,15 @@ class GpuDatatypeEngine {
     bool on_vector_path() const { return pattern_.has_value(); }
     bool used_cache() const { return cached_ != nullptr; }
 
+    /// Fragment flow id stamped on trace events the engine emits for
+    /// this op (mpi::frag_flow, docs/tracing.md). Protocol drivers set
+    /// it before each process_some call so the conv/desc-upload/kernel
+    /// spans of one fragment join that fragment's cross-rank flow chain.
+    /// 0 (the default) leaves events flow-less. Virtual time and results
+    /// are unaffected - this is pure trace metadata.
+    void set_flow(std::uint64_t flow) { flow_ = flow; }
+    std::uint64_t flow() const { return flow_; }
+
    private:
     friend class GpuDatatypeEngine;
     Dir dir_ = Dir::kPack;
@@ -133,6 +142,7 @@ class GpuDatatypeEngine {
     // Conversion/kernel overlap accounting (virtual time, per op).
     vt::Time conv_ns_ = 0;          // total host conversion time
     vt::Time conv_overlap_ns_ = 0;  // conversion time with a kernel in flight
+    std::uint64_t flow_ = 0;        // trace flow id (set_flow)
   };
 
   /// Begin packing (gathering) or unpacking (scattering) `count` elements

@@ -36,11 +36,16 @@ class CollSpan {
     (staged ? staged_ : direct_) += bytes;
   }
 
+  /// One reduction-operator application per element (docs/metrics.md
+  /// `coll.<op>.op_flops`): a combining step over n elements is n FLOPs.
+  void ops(std::int64_t elems) { flops_ += elems; }
+
   ~CollSpan() {
     if (rec_ == nullptr) return;
     const std::string prefix = std::string("coll.") + op_;
     obs::count(rec_, prefix + ".calls");
     obs::count(rec_, prefix + ".bytes", bytes_);
+    if (flops_ > 0) obs::count(rec_, prefix + ".op_flops", flops_);
     if (packed_ > 0) obs::count(rec_, "coll.bytes.packed", packed_);
     if (contiguous_ > 0)
       obs::count(rec_, "coll.bytes.contiguous", contiguous_);
@@ -59,6 +64,7 @@ class CollSpan {
   const char* op_;
   std::int64_t begin_;
   std::int64_t bytes_ = 0;
+  std::int64_t flops_ = 0;
   std::int64_t packed_ = 0;
   std::int64_t contiguous_ = 0;
   std::int64_t staged_ = 0;
@@ -85,6 +91,10 @@ Primitive reduce_primitive(const DatatypePtr& dt) {
     default:
       throw std::invalid_argument("reduce: unsupported primitive");
   }
+}
+
+std::int64_t prim_bytes(Primitive p) {
+  return (p == Primitive::kInt32 || p == Primitive::kFloat) ? 4 : 8;
 }
 
 template <typename T>
@@ -321,6 +331,7 @@ void Collectives::reduce(const void* sendbuf, void* recvbuf,
       const int child = (child_v + root) % size;
       comm_.recv(incoming.data(), 1, packed, child, tag);
       apply_op(op, prim, acc.data(), incoming.data(), bytes);
+      span.ops(bytes / prim_bytes(prim));
       comm_.process().clock().advance(
           vt::transfer_time(bytes, 4.0));  // ~4 GB/s host reduction
     }

@@ -264,6 +264,7 @@ void Pml::handle_matched_rts(RecvRequest& req, const RtsHeader& rts,
     throw std::runtime_error("PML: rendezvous message longer than recv");
   req.matched = true;
   req.matched_env = rts.env;
+  req.peer_send_id = rts.send_id;  // seeds frag_flow on arriving fragments
   if (rts.src_is_device || req.space.space == sg::MemorySpace::kDevice) {
     GpuTransferPlugin* plugin = proc_.runtime().gpu_plugin();
     if (plugin == nullptr)
@@ -363,6 +364,11 @@ void Pml::on_frag(AmMessage& m) {
     throw std::runtime_error("PML: fragment for unknown recv request");
   std::span<const std::byte> data(m.payload.data() + sizeof(FragHeader),
                                   static_cast<std::size_t>(h.bytes));
+  // Fragments of one send arrive in order, so the arrival index equals
+  // the sender's fragment index and both sides compute the same flow id
+  // without any extra wire bytes (frag_flow, pml.h).
+  req->last_flow = frag_flow(m.src_rank, req->peer_send_id,
+                             req->frags_seen++);
   // Per-fragment rendezvous latencies, for host and device destinations
   // alike (the plugin path below shares this bookkeeping).
   {
@@ -380,7 +386,7 @@ void Pml::on_frag(AmMessage& m) {
     }
     req->last_frag_arrival = m.arrival;
     obs::trace(rec, {"frag", "pml", m.arrival, m.arrival, proc_.rank(),
-                     h.bytes, proc_.rank()});
+                     h.bytes, proc_.rank(), req->last_flow});
   }
   if (req->space.space == sg::MemorySpace::kDevice) {
     proc_.runtime().gpu_plugin()->recv_on_frag(proc_, *req, h, data,

@@ -109,6 +109,24 @@ struct FragHeader {
   std::uint8_t last = 0;
 };
 
+/// Globally-unique fragment flow id tying one fragment's trace spans
+/// (conv -> H2D desc -> pack kernel -> wire/RDMA GET -> unpack) together
+/// across ranks (docs/tracing.md). A pure function of values both sides
+/// already hold - the AM's source rank, the RTS-carried send id, and the
+/// fragment's in-order index - so sender and receiver compute identical
+/// ids with no extra wire bytes (AM payload size is charged to the
+/// virtual clock, so widening a header would shift every baseline).
+/// Send ids are per-rank monotone, making (src rank, send id, fragment
+/// index) globally unique. Never 0 (rank is biased by 1), and kept below
+/// 2^53 so the id survives JSON parsers that store numbers as doubles
+/// (obs/json.h): 13 bits of rank, 20 of send id, 20 of fragment index.
+inline std::uint64_t frag_flow(int src_rank, std::uint64_t send_id,
+                               std::int64_t frag_idx) {
+  return (static_cast<std::uint64_t>(src_rank + 1) << 40) |
+         ((send_id & 0xFFFFFull) << 20) |
+         (static_cast<std::uint64_t>(frag_idx) & 0xFFFFFull);
+}
+
 /// Completion notification for RDMA modes.
 struct FinHeader {
   std::uint64_t req_id = 0;   // send_id or recv_id depending on direction
@@ -161,6 +179,11 @@ struct RecvRequest {
   // Host-path state.
   BlockCursor cursor;
   std::int64_t bytes_received = 0;
+
+  // Fragment-flow bookkeeping (frag_flow; trace-only, never on the wire).
+  std::uint64_t peer_send_id = 0;  // RTS-carried sender request id
+  std::int64_t frags_seen = 0;     // fragments arrived (in-order index)
+  std::uint64_t last_flow = 0;     // flow id of the fragment in flight
 
   // Rendezvous latency bookkeeping (virtual time; 0 = not applicable).
   vt::Time cts_sent = 0;

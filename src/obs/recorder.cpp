@@ -83,6 +83,11 @@ std::string Recorder::to_json() const {
     append_int(out, ev.pid);
     out += ", \"arg0\": ";
     append_int(out, ev.arg0);
+    if (ev.flow != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ", \"flow\": %" PRIu64, ev.flow);
+      out += buf;
+    }
     out += "}";
   }
   out += first ? "]}\n}\n" : "\n  ]}\n}\n";

@@ -48,6 +48,14 @@ void append_int(std::string& out, std::int64_t v) {
   out += buf;
 }
 
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
 /// The named timeline row (Chrome `tid`) an event renders on. The
 /// pipeline stages of one op get one row each, so the §3.2/§4.1 overlap
 /// shows as parallel bars; everything else rows by subsystem (with a
@@ -70,8 +78,6 @@ std::string stage_row(const TraceEvent& ev) {
   return ev.cat;
 }
 
-}  // namespace
-
 std::string chrome_trace_json(std::vector<TraceEvent> events,
                               std::int64_t dropped) {
   // Sort by begin time so `ts` is monotone non-decreasing - viewers do
@@ -91,6 +97,15 @@ std::string chrome_trace_json(std::vector<TraceEvent> events,
   int next_row = 6;
   // (pid, tid) -> row name, for the thread_name metadata events.
   std::map<std::pair<int, int>, std::string> named_rows;
+
+  // Flow membership after the sort: the k-th member of a flow (in begin
+  // order, i.e. virtual-time order) decides its flow phase - "s" for the
+  // first, "t" for the middle, "f" for the last. Single-member flows get
+  // args.flow but no flow events (an arrow needs two ends).
+  std::map<std::uint64_t, std::int64_t> flow_sizes;
+  for (const TraceEvent& ev : events)
+    if (ev.flow != 0) ++flow_sizes[ev.flow];
+  std::map<std::uint64_t, std::int64_t> flow_seen;
 
   std::string body;
   body.reserve(events.size() * 96);
@@ -115,7 +130,32 @@ std::string chrome_trace_json(std::vector<TraceEvent> events,
     append_int(body, tid);
     body += ", \"args\": {\"arg0\": ";
     append_int(body, ev.arg0);
+    if (ev.flow != 0) {
+      body += ", \"flow\": ";
+      append_u64(body, ev.flow);
+    }
     body += "}}";
+    if (ev.flow != 0 && flow_sizes[ev.flow] >= 2) {
+      // One flow event right after its span, at the span's begin ts (so
+      // the array stays ts-monotone and `bp:"e"` binds it to exactly
+      // this slice: same pid/tid, ts inside the span bounds).
+      const std::int64_t k = ++flow_seen[ev.flow];
+      const char* ph = k == 1 ? "s"
+                     : k == flow_sizes[ev.flow] ? "f"
+                                                : "t";
+      body += ",\n{\"name\": \"frag_flow\", \"cat\": \"flow\", \"ph\": \"";
+      body += ph;
+      body += "\", \"id\": ";
+      append_u64(body, ev.flow);
+      body += ", \"ts\": ";
+      append_us(body, ev.begin);
+      body += ", \"pid\": ";
+      append_int(body, pid);
+      body += ", \"tid\": ";
+      append_int(body, tid);
+      if (*ph != 's') body += ", \"bp\": \"e\"";
+      body += "}";
+    }
   }
   if (dropped > 0) {
     // A truncated timeline must never read as a complete one: flag the
@@ -154,6 +194,69 @@ std::string chrome_trace_json(std::vector<TraceEvent> events,
   if (first && !body.empty()) body.erase(0, 1);  // no metadata: drop comma
   out += body;
   out += "\n]\n";
+  return out;
+}
+
+std::string stage_profile_table(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return "";
+  // Busy time per (rank, stage row) as interval-union occupancy: spans on
+  // one row can overlap when the pipeline keeps several fragments in
+  // flight, and merging intervals keeps busy_% a true utilization
+  // (<= 100%) instead of "work issued", which trace_critpath already
+  // reports as serial/blame time.
+  struct Cell {
+    std::vector<std::pair<std::int64_t, std::int64_t>> ivals;
+    std::int64_t count = 0;
+  };
+  std::map<std::string, int> row_order{{"conv", 0},     {"H2D desc", 1},
+                                       {"kernel", 2},   {"wire", 3},
+                                       {"RDMA GET", 4}, {"unpack", 5}};
+  int next_row = 6;
+  std::map<std::pair<int, std::pair<int, std::string>>, Cell> cells;
+  std::int64_t t0 = events.front().begin, t1 = events.front().end;
+  for (const TraceEvent& ev : events) {
+    const int pid = ev.pid >= 0 ? ev.pid : (ev.tid >= 0 ? ev.tid : 0);
+    const std::string row = stage_row(ev);
+    auto [it, inserted] = row_order.try_emplace(row, next_row);
+    if (inserted) ++next_row;
+    Cell& c = cells[{pid, {it->second, row}}];
+    c.ivals.emplace_back(ev.begin, std::max(ev.begin, ev.end));
+    ++c.count;
+    t0 = std::min(t0, ev.begin);
+    t1 = std::max(t1, ev.end);
+  }
+  const std::int64_t span = std::max<std::int64_t>(1, t1 - t0);
+
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "stage utilization over %" PRId64 " virtual ns\n", t1 - t0);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-6s %-12s %14s %8s %8s\n", "rank",
+                "stage", "busy_ns", "busy_%", "events");
+  out += buf;
+  for (auto& [key, c] : cells) {
+    std::sort(c.ivals.begin(), c.ivals.end());
+    std::int64_t busy = 0, open_b = c.ivals.front().first,
+                 open_e = c.ivals.front().second;
+    for (const auto& [b, e] : c.ivals) {
+      if (b > open_e) {
+        busy += open_e - open_b;
+        open_b = b;
+        open_e = e;
+      } else {
+        open_e = std::max(open_e, e);
+      }
+    }
+    busy += open_e - open_b;
+    std::snprintf(buf, sizeof(buf),
+                  "%-6d %-12s %14" PRId64 " %7.2f%% %8" PRId64 "\n",
+                  key.first, key.second.second.c_str(), busy,
+                  100.0 * static_cast<double>(busy) /
+                      static_cast<double>(span),
+                  c.count);
+    out += buf;
+  }
   return out;
 }
 

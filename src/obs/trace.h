@@ -28,6 +28,7 @@ struct TraceEvent {
   std::int32_t tid = -1;  // rank (pml events) or device (engine events)
   std::int64_t arg0 = 0;  // stage-specific (bytes, unit count, frag index)
   std::int32_t pid = -1;  // owning rank when known (-1: fall back to tid)
+  std::uint64_t flow = 0; // fragment flow id (0: not part of a flow)
 };
 
 class TraceBuffer {
@@ -67,7 +68,25 @@ class TraceBuffer {
 /// H2D desc, kernel, wire, RDMA GET, unpack, ...) as named `tid` rows.
 /// Events are sorted by begin time, so `ts` is monotone non-decreasing.
 /// When `dropped > 0` a final instant event flags the truncation.
+///
+/// Events carrying the same non-zero `flow` id form one fragment flow:
+/// each gets `args.flow`, and the chain is tied together with Chrome
+/// flow events (`ph:"s"` on the first span, `ph:"t"` on middle spans,
+/// `ph:"f"` with `bp:"e"` on the last), so Perfetto draws dependency
+/// arrows conv -> H2D desc -> kernel -> wire/RDMA GET -> unpack across
+/// ranks. Flows with a single member emit no flow events.
 std::string chrome_trace_json(std::vector<TraceEvent> events,
                               std::int64_t dropped);
+
+/// The named timeline row an event renders on in the chrome export
+/// ("conv", "H2D desc", "kernel", "wire", "RDMA GET", "unpack", or a
+/// subsystem fallback). Exposed for tools that aggregate by stage.
+std::string stage_row(const TraceEvent& ev);
+
+/// Human-readable per-(rank, stage-row) utilization table over a trace
+/// snapshot: busy virtual ns, % of the trace's end-to-end span, and
+/// event count, sorted by rank then pipeline-row order. Returns "" when
+/// there are no events. Backs the bench binaries' `--profile` flag.
+std::string stage_profile_table(const std::vector<TraceEvent>& events);
 
 }  // namespace gpuddt::obs

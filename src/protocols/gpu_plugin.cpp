@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/recorder.h"
+#include "simgpu/staging.h"
 
 namespace gpuddt::proto {
 
@@ -49,30 +50,9 @@ H read_header(const mpi::AmMessage& m) {
   return h;
 }
 
-/// The receiver-side unpack reads AM payload bytes in place - plain
-/// (malloc'd) host staging the machine knows nothing about, so the access
-/// checker used to skip those ranges entirely. Register the span for the
-/// duration of the handler; unregistering on scope exit releases the
-/// tracked history, so a later payload reusing the same addresses is not
-/// compared against this one's accesses.
-class ScopedStagingRegistration {
- public:
-  ScopedStagingRegistration(sg::Machine& m, const void* p, std::size_t n)
-      : m_(m), p_(m.observer() != nullptr && n > 0 ? p : nullptr) {
-    if (p_ != nullptr)
-      m_.register_host_range(const_cast<void*>(p_), n, /*mapped=*/true);
-  }
-  ~ScopedStagingRegistration() {
-    if (p_ != nullptr) m_.unregister_host_range(const_cast<void*>(p_));
-  }
-  ScopedStagingRegistration(const ScopedStagingRegistration&) = delete;
-  ScopedStagingRegistration& operator=(const ScopedStagingRegistration&) =
-      delete;
-
- private:
-  sg::Machine& m_;
-  const void* p_;
-};
+// Receiver-side unpack reads AM payload bytes in place; register the
+// span for the duration of the handler (simgpu/staging.h).
+using sg::ScopedStagingRegistration;
 
 core::EngineConfig engine_config(const mpi::RuntimeConfig& cfg,
                                  std::int32_t trace_pid) {
@@ -377,7 +357,9 @@ void GpuDatatypePlugin::send_on_cts(mpi::Process& p, mpi::SendRequest& req,
       st->op = eng.start(core::GpuDatatypeEngine::Dir::kPack, req.dt,
                          req.count, const_cast<void*>(req.buf));
       vt::Time last = 0;
+      std::int64_t frag_idx = 0;
       while (!st->op->done()) {
+        st->op->set_flow(mpi::frag_flow(p.rank(), req.id, frag_idx++));
         const auto res = eng.process_some(
             *st->op, remote + st->op->bytes_done(), st->frag_bytes);
         if (res.bytes == 0) break;
@@ -410,6 +392,7 @@ void GpuDatatypePlugin::pump_rdma_send(mpi::Process& p,
         st->remote_ring != nullptr
             ? st->slot_free[static_cast<std::size_t>(slot)]
             : 0;
+    st->op->set_flow(mpi::frag_flow(p.rank(), req.id, st->next_frag));
     const auto res =
         eng.process_some(*st->op, st->staging + slot * st->frag_bytes,
                          st->frag_bytes, slot_dep);
@@ -476,6 +459,7 @@ void GpuDatatypePlugin::pump_host_send(mpi::Process& p,
     const std::int64_t offset = st->op->bytes_done();
     // Pack into the slot; reuse must wait until the previous occupant's
     // bytes were read onto the wire (virtual-time dependency).
+    st->op->set_flow(mpi::frag_flow(p.rank(), req.id, st->next_frag));
     const auto res = eng.process_some(
         *st->op, zero_copy ? static_cast<void*>(host_slot)
                            : static_cast<void*>(gpu_slot),
@@ -672,9 +656,11 @@ void GpuDatatypePlugin::drive_recv_from_contiguous(mpi::Process& p,
   } else if (same_device || !cfg.recv_local_staging) {
     // Unpack straight out of the exposed source (fast when same device,
     // the slower remote-read option otherwise).
+    std::int64_t idx = 0;
     while (st->op->bytes_done() < req.total_bytes) {
       const std::int64_t n = std::min<std::int64_t>(
           st->frag_bytes, req.total_bytes - st->op->bytes_done());
+      st->op->set_flow(mpi::frag_flow(st->src_rank, st->send_id, idx++));
       const auto res = eng.process_some(
           *st->op, st->remote + st->op->bytes_done(), n, arrival);
       if (res.bytes == 0) break;
@@ -693,11 +679,18 @@ void GpuDatatypePlugin::drive_recv_from_contiguous(mpi::Process& p,
       std::byte* local = st->local_staging + slot * st->frag_bytes;
       const std::int64_t n = std::min<std::int64_t>(
           st->frag_bytes, req.total_bytes - st->op->bytes_done());
-      const vt::Time t_get = btl.rdma_get(
-          p, st->src_rank, local, st->remote + st->op->bytes_done(),
-          static_cast<std::size_t>(n),
+      const std::uint64_t flow =
+          mpi::frag_flow(st->src_rank, st->send_id, idx);
+      st->op->set_flow(flow);
+      const vt::Time t_start =
           std::max({arrival, p.clock().now(),
-                    st->slot_free[static_cast<std::size_t>(slot)]}));
+                    st->slot_free[static_cast<std::size_t>(slot)]});
+      const vt::Time t_get =
+          btl.rdma_get(p, st->src_rank, local,
+                       st->remote + st->op->bytes_done(),
+                       static_cast<std::size_t>(n), t_start);
+      obs::trace(cfg.recorder, {"rdma_frag", "gpu", t_start, t_get,
+                                p.rank(), n, p.rank(), flow});
       const auto res = eng.process_some(*st->op, local, n, t_get);
       st->slot_free[static_cast<std::size_t>(slot)] = res.ready;
       last = res.ready;
@@ -729,6 +722,11 @@ void GpuDatatypePlugin::on_frag_ready(mpi::Process& p, mpi::AmMessage& m) {
   core::GpuDatatypeEngine& eng = engine(p);
   mpi::Btl& btl = p.runtime().btl_between(p.rank(), st->src_rank);
   const std::int64_t slot = h.frag_idx % st->depth;
+  // Same pure function of (src rank, send id, frag idx) the sender used,
+  // so this fragment's unpack spans join its cross-rank flow chain.
+  const std::uint64_t flow =
+      mpi::frag_flow(st->src_rank, h.send_id, h.frag_idx);
+  st->op->set_flow(flow);
 
   vt::Time ack_after;
   if (st->put_mode) {
@@ -798,7 +796,7 @@ void GpuDatatypePlugin::on_frag_ready(mpi::Process& p, mpi::AmMessage& m) {
     req->last_frag_arrival = m.arrival;
     obs::observe(rec, "gpu.frag.unpack_ns", st->last_ready - m.arrival);
     obs::trace(rec, {"rdma_frag", "gpu", m.arrival, st->last_ready,
-                     p.rank(), h.bytes, p.rank()});
+                     p.rank(), h.bytes, p.rank(), flow});
   }
 
   FragFreeHeader ack;
@@ -843,6 +841,8 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
   core::GpuDatatypeEngine& eng = engine(p);
   if (hdr.offset != st->bytes_done)
     throw std::runtime_error("gpu plugin: out-of-order fragment");
+  // Pml::on_frag computed this fragment's flow id before dispatching here.
+  st->op->set_flow(req.last_flow);
 
   if (hdr.bytes > 0) {
     ScopedStagingRegistration staging(p.runtime().machine(), data.data(),
@@ -882,7 +882,7 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
                  st->last_ready - arrival);
     obs::trace(p.config().recorder,
                {"host_frag_unpack", "gpu", arrival, st->last_ready, p.rank(),
-                hdr.bytes, p.rank()});
+                hdr.bytes, p.rank(), req.last_flow});
   }
 
   if (hdr.last) {

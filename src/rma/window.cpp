@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/recorder.h"
+#include "simgpu/staging.h"
 
 namespace gpuddt::rma {
 
@@ -242,9 +243,16 @@ void Window::accumulate(const void* origin, std::int64_t origin_count,
   const vt::Time t_begin = p.clock().now();
 
   // Read-modify-write on the packed representation, staged through host
-  // memory (where the ALU work happens).
+  // memory (where the ALU work happens). The scratch vectors are plain
+  // malloc'd host memory the engine reads and writes when either side is
+  // device-resident; register them so the access checker sees those
+  // ranges (simgpu/staging.h).
   std::vector<std::byte> ours(static_cast<std::size_t>(total));
   std::vector<std::byte> theirs(static_cast<std::size_t>(total));
+  sg::ScopedStagingRegistration reg_ours(
+      p.runtime().machine(), ours.data(), ours.size());
+  sg::ScopedStagingRegistration reg_theirs(
+      p.runtime().machine(), theirs.data(), theirs.size());
   const vt::Time t1 =
       pack_to(origin, origin_count, origin_dt, ours.data(), p.clock().now());
   const vt::Time t2 = pack_to(tptr, target_count, target_dt, theirs.data(),

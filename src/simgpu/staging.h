@@ -1,0 +1,42 @@
+// Scoped checker visibility for externally-owned host scratch.
+//
+// Protocol layers stage payloads through plain malloc'd host buffers (AM
+// payload spans, RMA accumulate scratch, pack/unpack bounce buffers) that
+// the Machine knows nothing about, so the access checker used to skip
+// those ranges entirely - device-side races against such scratch went
+// undetected. Registering the span for the scope of the operation closes
+// that blind spot; unregistering on scope exit releases the tracked
+// history, so a later buffer reusing the same addresses is not compared
+// against this one's accesses.
+//
+// Registration is a no-op when no observer is attached (the common
+// production path) and never changes timing - only checker visibility
+// (see Machine::register_host_range).
+#pragma once
+
+#include <cstddef>
+
+#include "simgpu/machine.h"
+
+namespace gpuddt::sg {
+
+class ScopedStagingRegistration {
+ public:
+  ScopedStagingRegistration(Machine& m, const void* p, std::size_t n)
+      : m_(m), p_(m.observer() != nullptr && n > 0 ? p : nullptr) {
+    if (p_ != nullptr)
+      m_.register_host_range(const_cast<void*>(p_), n, /*mapped=*/true);
+  }
+  ~ScopedStagingRegistration() {
+    if (p_ != nullptr) m_.unregister_host_range(const_cast<void*>(p_));
+  }
+  ScopedStagingRegistration(const ScopedStagingRegistration&) = delete;
+  ScopedStagingRegistration& operator=(const ScopedStagingRegistration&) =
+      delete;
+
+ private:
+  Machine& m_;
+  const void* p_;
+};
+
+}  // namespace gpuddt::sg

@@ -1,0 +1,35 @@
+# Pin trace_critpath's output on the hand-built two-fragment fixture:
+# the fixture's dependency DAG is known (sender kernel -> two pipelined
+# RDMA GETs -> receiver unpack), so the full gpuddt-critpath-v1 document
+# is compared byte-for-byte against the checked-in expectation.
+# Invoked by the trace_critpath_fixture CTest entry.
+#
+# cmake -DTOOL=... -DTRACE=... -DEXPECTED=... -DWORK_DIR=...
+#       -P run_critpath_fixture.cmake
+
+if(NOT TOOL OR NOT TRACE OR NOT EXPECTED OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "run_critpath_fixture.cmake: TOOL, TRACE, EXPECTED, WORK_DIR required")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${TOOL} --check-efficiency --json-out=${WORK_DIR}/critpath.json
+          ${TRACE}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_critpath failed on the fixture")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/critpath.json ${EXPECTED}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "critpath report diverged from the checked-in expectation "
+    "(${EXPECTED}) - review the change, then regenerate with "
+    "trace_critpath --json ${TRACE}")
+endif()

@@ -15,6 +15,7 @@
 #include "harness/harness.h"
 #include "obs/recorder.h"
 #include "simgpu/runtime.h"
+#include "simgpu/staging.h"
 #include "test_helpers.h"
 
 namespace gpuddt {
@@ -88,6 +89,44 @@ TEST(CheckHazard, UnorderedWritesAreWaw) {
   EXPECT_LT(diag.a.start, diag.b.finish);  // overlapping windows
   EXPECT_LT(diag.b.start, diag.a.finish);
   sg::Free(ctx, dev);
+}
+
+TEST(CheckHazard, RegisteredHostScratchExposesHiddenWaw) {
+  // Two D2H copies from DISJOINT device buffers land in the SAME plain
+  // (malloc'd) host vector with no ordering between their streams. The
+  // only conflicting range is the host scratch, which the tracker skips
+  // while unregistered - this WAW used to go undetected. Registering the
+  // scratch (sg::ScopedStagingRegistration, what the protocol layers now
+  // do for their staging) makes the same pair of copies a reported WAW.
+  sg::Machine m(checked_config());
+  sg::HostContext ctx(m, 0);
+  const std::size_t bytes = 1 << 20;
+  void* dev1 = sg::Malloc(ctx, bytes);
+  void* dev2 = sg::Malloc(ctx, bytes);
+  std::vector<std::byte> scratch(bytes);
+  sg::Stream s1(&m.device(0), "s1");
+  sg::Stream s2(&m.device(0), "s2");
+
+  {
+    const SinkDelta d;
+    sg::MemcpyAsync(ctx, scratch.data(), dev1, bytes, s1);
+    sg::MemcpyAsync(ctx, scratch.data(), dev2, bytes, s2);
+    EXPECT_EQ(d.hazards(), 0);  // the historical blind spot
+  }
+  sg::StreamSynchronize(ctx, s1);
+  sg::StreamSynchronize(ctx, s2);
+  {
+    sg::ScopedStagingRegistration reg(m, scratch.data(), scratch.size());
+    const SinkDelta d;
+    sg::MemcpyAsync(ctx, scratch.data(), dev1, bytes, s1);
+    sg::MemcpyAsync(ctx, scratch.data(), dev2, bytes, s2);
+    EXPECT_GE(d.hazards(), 1);
+    const check::Diagnostic& diag = check::diagnostics().back();
+    EXPECT_EQ(diag.type, "WAW");
+    EXPECT_EQ(diag.a.ptr, reinterpret_cast<std::uintptr_t>(scratch.data()));
+  }
+  sg::Free(ctx, dev1);
+  sg::Free(ctx, dev2);
 }
 
 TEST(CheckHazard, ReadAfterUnorderedWriteIsRaw) {

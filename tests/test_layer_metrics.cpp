@@ -185,5 +185,43 @@ TEST(LayerMetrics, CollHostBcastCountsContiguousDirectBytes) {
   EXPECT_EQ(counter(rec, "coll.bytes.staged"), 0);
 }
 
+TEST(LayerMetrics, ReduceOpFlopsPinToElementCounts) {
+  // Binomial reduce combines world-1 incoming streams, each one operator
+  // application per element, so coll.reduce.op_flops is exactly
+  // (world-1) * count independent of primitive width or op.
+  obs::Recorder rec;
+  constexpr int kWorld = 4;
+  mpi::Runtime rt(world(kWorld, &rec));
+  constexpr std::int64_t kCount = 1024;
+  rt.run([&](mpi::Process& p) {
+    mpi::Collectives coll(mpi::Comm{p});
+    std::vector<double> buf(kCount, 1.0), out(kCount, 0.0);
+    coll.reduce(buf.data(), out.data(), kCount, mpi::kDouble(),
+                mpi::ReduceOp::kSum, 0);
+    if (p.rank() == 0) EXPECT_EQ(out[kCount - 1], double(kWorld));
+  });
+  EXPECT_EQ(counter(rec, "coll.reduce.op_flops"), (kWorld - 1) * kCount);
+}
+
+TEST(LayerMetrics, AllreduceOpFlopsAccrueUnderReduce) {
+  // Allreduce = reduce + bcast: the combining work lands on the inner
+  // reduce's counter, and a narrower primitive (int32) still counts
+  // elements, not bytes.
+  obs::Recorder rec;
+  constexpr int kWorld = 4;
+  mpi::Runtime rt(world(kWorld, &rec));
+  constexpr std::int64_t kCount = 512;
+  rt.run([&](mpi::Process& p) {
+    mpi::Collectives coll(mpi::Comm{p});
+    std::vector<std::int32_t> buf(kCount, 2), out(kCount, 0);
+    coll.allreduce(buf.data(), out.data(), kCount, mpi::kInt32(),
+                   mpi::ReduceOp::kMax);
+    EXPECT_EQ(out[0], 2);
+  });
+  EXPECT_EQ(counter(rec, "coll.reduce.op_flops"), (kWorld - 1) * kCount);
+  EXPECT_EQ(counter(rec, "coll.allreduce.op_flops"), 0);
+  EXPECT_EQ(counter(rec, "coll.allreduce.calls"), kWorld);
+}
+
 }  // namespace
 }  // namespace gpuddt

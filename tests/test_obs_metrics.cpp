@@ -265,6 +265,82 @@ TEST(ChromeTrace, NamesStageRowsAndProcesses) {
   EXPECT_TRUE(saw_proc);
 }
 
+TEST(ChromeTrace, FlowEventsChainFragmentsAcrossRanks) {
+  // Three spans sharing one fragment flow id (sender kernel -> receiver
+  // RDMA GET -> receiver unpack) must export as args.flow on each X
+  // event plus an s -> t -> f flow-event chain with the shared id, each
+  // bound at its span's begin; a flow with a single member gets args.flow
+  // but NO flow events (there is nothing to draw an arrow to).
+  Recorder rec;
+  rec.enable_tracing();
+  const std::uint64_t flow = (1ull << 40) | (7ull << 20) | 3ull;
+  trace(&rec, {"dev_kernel", "engine", 100, 200, 0, 64, 0, flow});
+  trace(&rec, {"rdma_frag", "gpu", 250, 400, 1, 64, 1, flow});
+  trace(&rec, {"host_frag_unpack", "gpu", 450, 500, 1, 64, 1, flow});
+  trace(&rec, {"dev_kernel", "engine", 600, 700, 0, 64, 0, 42});
+  const json::Value doc = json::parse(rec.to_chrome_json());
+  int args_flow = 0;
+  std::vector<std::string> phases;
+  for (const json::Value& ev : doc.as_array()) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "X" && ev.at("args").contains("flow")) ++args_flow;
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    phases.push_back(ph);
+    EXPECT_EQ(ev.at("name").as_string(), "frag_flow");
+    EXPECT_EQ(static_cast<std::uint64_t>(ev.at("id").as_double()), flow);
+    // Bind points ride the owning span's begin (keeps ts monotone).
+    if (ph == "s") {
+      EXPECT_EQ(ev.at("ts").as_double(), 0.100);
+      EXPECT_EQ(ev.at("pid").as_int(), 0);
+      EXPECT_FALSE(ev.contains("bp"));
+    } else {
+      EXPECT_EQ(ev.at("pid").as_int(), 1);
+      EXPECT_EQ(ev.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_EQ(args_flow, 4);  // every flow-carrying X, single-member too
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0], "s");
+  EXPECT_EQ(phases[1], "t");
+  EXPECT_EQ(phases[2], "f");
+}
+
+TEST(V1Trace, FlowKeySerializedOnlyWhenSet) {
+  // The v1 dump keeps trace events inline; a non-zero flow id must
+  // round-trip through the JSON (as a < 2^53 number, exact in a double)
+  // and a zero flow must not emit the key at all.
+  Recorder rec;
+  rec.enable_tracing();
+  const std::uint64_t flow = (3ull << 40) | (1ull << 20) | 5ull;
+  trace(&rec, {"frag", "pml", 0, 10, 0, 4096, 0, flow});
+  trace(&rec, {"frag", "pml", 10, 20, 0, 4096, 0});
+  const json::Value doc = json::parse(rec.to_json());
+  const auto& events = doc.at("trace").at("events").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  ASSERT_TRUE(events[0].contains("flow"));
+  EXPECT_EQ(static_cast<std::uint64_t>(events[0].at("flow").as_double()),
+            flow);
+  EXPECT_FALSE(events[1].contains("flow"));
+}
+
+TEST(StageProfile, TableUsesIntervalUnionOccupancy) {
+  // Two overlapping kernels on one rank occupy [0, 150) - the union, not
+  // the 200ns duration sum - so busy_% stays a true utilization.
+  std::vector<TraceEvent> events;
+  events.push_back({"dev_kernel", "engine", 0, 100, 0, 1, 0});
+  events.push_back({"dev_kernel", "engine", 50, 150, 0, 1, 0});
+  events.push_back({"frag", "pml", 100, 200, 1, 1, 1});
+  const std::string table = stage_profile_table(events);
+  EXPECT_NE(table.find("stage utilization over 200 virtual ns"),
+            std::string::npos);
+  EXPECT_NE(table.find("kernel"), std::string::npos);
+  EXPECT_NE(table.find("150"), std::string::npos);   // union, not 200
+  EXPECT_NE(table.find("75.00%"), std::string::npos);  // 150 / 200
+  EXPECT_NE(table.find("wire"), std::string::npos);
+  EXPECT_NE(table.find("50.00%"), std::string::npos);  // 100 / 200
+  EXPECT_TRUE(stage_profile_table({}).empty());
+}
+
 TEST(ChromeTrace, EmptyAndTruncatedBuffers) {
   Recorder rec;
   const json::Value empty = json::parse(rec.to_chrome_json());

@@ -182,6 +182,46 @@ TEST(RmaWindow, SeededEpochConflictIsFlaggedByChecker) {
   EXPECT_GE(check::hazard_count() - hazards0, 1);
 }
 
+TEST(RmaWindow, DeviceAccumulateScratchIsCheckedAndClean) {
+  // Accumulate on a device window stages through malloc'd host scratch
+  // that the window now registers with the checker
+  // (simgpu/staging.h). Fence-separated accumulates are fully ordered:
+  // the newly-visible scratch ranges must not produce false positives,
+  // and the result must still combine correctly.
+  mpi::RuntimeConfig cfg = world(2);
+  cfg.machine.check = 1;
+  mpi::Runtime rt(cfg);
+  rt.set_gpu_plugin(std::make_shared<proto::GpuDatatypePlugin>());
+  const std::int64_t hazards0 = check::hazard_count();
+  rt.run([](mpi::Process& p) {
+    mpi::Comm comm(p);
+    const std::int64_t n = 1024;
+    std::byte* win = nullptr;
+    if (p.rank() == 0) {
+      win = static_cast<std::byte*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(n * 4)));
+      std::vector<std::int32_t> init(static_cast<std::size_t>(n), 10);
+      std::memcpy(win, init.data(), static_cast<std::size_t>(n * 4));
+    }
+    Window w(comm, win, p.rank() == 0 ? n * 4 : 0);
+    w.fence();
+    if (p.rank() == 1) {
+      std::vector<std::int32_t> data(static_cast<std::size_t>(n), 5);
+      w.accumulate(data.data(), n, mpi::kInt32(), 0, 0, n, mpi::kInt32(),
+                   mpi::ReduceOp::kSum);
+    }
+    w.fence();
+    if (p.rank() == 0) {
+      std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+      std::memcpy(out.data(), win, static_cast<std::size_t>(n * 4));
+      EXPECT_EQ(out[0], 15);
+      EXPECT_EQ(out[static_cast<std::size_t>(n) - 1], 15);
+      sg::Free(p.gpu(), win);
+    }
+  });
+  EXPECT_EQ(check::hazard_count() - hazards0, 0);
+}
+
 TEST(RmaWindow, FenceSeparatedPutsRunClean) {
   // The same two puts in separate fence epochs are ordered and must not
   // be flagged.

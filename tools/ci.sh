@@ -33,12 +33,19 @@ run cmake --build build-asan -j "$JOBS"
 run ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 # 4. Chrome-trace export end to end: generate a trace from one pipelined
-#    benchmark and shape-check it (array, monotone ts, non-negative dur;
-#    docs/tracing.md). Perfetto/chrome://tracing load exactly this file.
+#    benchmark and shape-check it (array, monotone ts, non-negative dur,
+#    well-formed fragment flow events; docs/tracing.md).
+#    Perfetto/chrome://tracing load exactly this file.
 run build/bench/bench_fig9_pcie_pingpong \
   "--benchmark_filter=BM_Fig9_V/1024/" --trace-format=chrome \
   --trace-out=build/ci_chrome_trace.json
 run build/tools/metrics_diff --validate-chrome build/ci_chrome_trace.json
+
+# 4b. Critical-path profiler over the same trace: the fragment flow ids
+#     must chain into a DAG whose overlap efficiency lands in (0, 1]
+#     (docs/metrics.md, gpuddt-critpath-v1).
+run build/tools/trace_critpath --check-efficiency \
+  --json-out=build/ci_critpath.json build/ci_chrome_trace.json
 
 # 5. Determinism sweep: every benchmark binary must double-run to
 #    byte-identical canonical metrics (the in-suite bench_determinism

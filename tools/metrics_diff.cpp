@@ -17,7 +17,11 @@
 //       Parse FILE as a Chrome Trace Event Format array (the
 //       --trace-format=chrome output; docs/tracing.md) and check its
 //       shape: a JSON array whose "X" events carry non-negative dur and
-//       monotone non-decreasing ts. Exits 1 on any failure.
+//       monotone non-decreasing ts, and whose flow events (ph s/t/f)
+//       form well-nested flows - one start and one finish per id, no
+//       steps outside the start..finish window, no dangling flows, and
+//       every binding point inside an "X" slice on the same pid/tid.
+//       Exits 1 on any failure.
 //   metrics_diff --gate A.json B.json KEY<=PCT...
 //       Regression gate: for each KEY (counter or histogram mean), require
 //       the candidate B not to exceed the baseline A by more than PCT
@@ -40,8 +44,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/canon.h"
 #include "obs/json.h"
@@ -113,7 +120,11 @@ int validate(const std::string& path, int nkeys, char** keys) {
   return 0;
 }
 
-/// Shape check for --trace-format=chrome output (docs/tracing.md).
+/// Shape check for --trace-format=chrome output (docs/tracing.md),
+/// including the fragment flow events: every flow id must open with one
+/// "s", close with one "f", never continue after closing, and each flow
+/// event's binding point must lie inside an "X" slice on the same
+/// pid/tid (flow events bind to their enclosing slice, bp:"e").
 int validate_chrome(const std::string& path) {
   const Value doc = load(path);
   if (!doc.is_array()) {
@@ -123,6 +134,10 @@ int validate_chrome(const std::string& path) {
   int complete = 0;
   double last_ts = 0.0;
   bool have_ts = false;
+  // (pid, tid) -> [begin, end] of every complete event, for flow binding.
+  std::map<std::pair<double, double>,
+           std::vector<std::pair<double, double>>>
+      slices;
   for (const Value& ev : doc.as_array()) {
     if (!ev.is_object() || !ev.contains("ph") || !ev.contains("name") ||
         !ev.contains("pid") || !ev.contains("tid")) {
@@ -144,9 +159,71 @@ int validate_chrome(const std::string& path) {
     }
     last_ts = ts;
     have_ts = true;
+    slices[{ev.at("pid").as_double(), ev.at("tid").as_double()}]
+        .emplace_back(ts, ts + dur);
   }
+  struct FlowState {
+    bool started = false;
+    bool finished = false;
+  };
+  std::map<double, FlowState> flows;
+  for (const Value& ev : doc.as_array()) {
+    const std::string ph = ev.at("ph").as_string();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    if (!ev.contains("id") || !ev.contains("ts")) {
+      std::cerr << path << ": flow event missing id/ts\n";
+      return 1;
+    }
+    const double id = ev.at("id").as_double();
+    FlowState& st = flows[id];
+    if (ph == "s") {
+      if (st.started) {
+        std::cerr << path << ": duplicate flow start, id " << id << "\n";
+        return 1;
+      }
+      st.started = true;
+    } else {
+      if (!st.started) {
+        std::cerr << path << ": flow '" << ph << "' before start, id " << id
+                  << "\n";
+        return 1;
+      }
+      if (st.finished) {
+        std::cerr << path << ": flow event after finish, id " << id << "\n";
+        return 1;
+      }
+      if (ph == "f") st.finished = true;
+    }
+    // Binding point: the flow event's ts must fall inside some slice on
+    // its own (pid, tid), or Perfetto has no span to anchor the arrow to.
+    const double ts = ev.at("ts").as_double();
+    const auto it =
+        slices.find({ev.at("pid").as_double(), ev.at("tid").as_double()});
+    bool bound = false;
+    if (it != slices.end()) {
+      for (const auto& [b, e] : it->second) {
+        if (ts >= b && ts <= e) {
+          bound = true;
+          break;
+        }
+      }
+    }
+    if (!bound) {
+      std::cerr << path << ": flow event at ts " << ts << " (id " << id
+                << ") binds outside every slice on its pid/tid\n";
+      return 1;
+    }
+  }
+  int dangling = 0;
+  for (const auto& [id, st] : flows) {
+    if (!st.finished) {
+      std::cerr << path << ": dangling flow (no finish), id " << id << "\n";
+      ++dangling;
+    }
+  }
+  if (dangling > 0) return 1;
   std::cout << path << ": ok (" << doc.as_array().size() << " events, "
-            << complete << " complete)\n";
+            << complete << " complete, " << flows.size() << " flows)\n";
   return 0;
 }
 

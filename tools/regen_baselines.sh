@@ -22,6 +22,7 @@ BASELINES=(
   "fig9_pcie_pingpong|bench_fig9_pcie_pingpong|"
   "coll_datatype|bench_coll_datatype|"
   "onesided|bench_onesided|"
+  "ablation_pipeline|bench_ablation_pipeline|"
 )
 
 binaries=(metrics_diff)
