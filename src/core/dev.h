@@ -21,6 +21,8 @@ struct CudaDevDist {
   std::int64_t nc_disp = 0;  // displacement within the non-contiguous data
   std::int64_t pk_disp = 0;  // displacement within the packed buffer
   std::int64_t length = 0;   // bytes (<= unit size S)
+
+  bool operator==(const CudaDevDist&) const = default;
 };
 
 /// Paper lower bound for S: 8 bytes x 32 lanes = 256 B per warp round.

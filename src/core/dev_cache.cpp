@@ -18,6 +18,25 @@ void DevCache::set_recorder(obs::Recorder* rec) {
   rec_->metrics().counter("dev_cache.evictions");
   rec_->metrics().counter("dev_cache.bytes");
   rec_->metrics().counter("dev_cache.evictions_bytes");
+  rec_->metrics().counter("dev_cache.shape_dedup.hits");
+  rec_->metrics().counter("dev_cache.shape_dedup.inserts_coalesced");
+  rec_->metrics().counter("dev_cache.shape_dedup.bytes_saved");
+}
+
+std::uint64_t DevCache::key_hash(std::uint64_t shape, std::int64_t count,
+                                 std::int64_t unit_bytes) {
+  // FNV-1a over every byte of the (shape, count, unit_bytes) triple.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(shape);
+  mix(static_cast<std::uint64_t>(count));
+  mix(static_cast<std::uint64_t>(unit_bytes));
+  return h;
 }
 
 void DevCache::touch(const Node& n) const {
@@ -27,7 +46,7 @@ void DevCache::touch(const Node& n) const {
 const DevCache::Entry* DevCache::find(const mpi::DatatypePtr& dt,
                                       std::int64_t count,
                                       std::int64_t unit_bytes) const {
-  const Key k{dt->type_id(), count, unit_bytes};
+  const Key k{dt->shape_digest(), count, unit_bytes};
   auto it = entries_.find(k);
   if (it == entries_.end()) {
     ++misses_;
@@ -36,6 +55,12 @@ const DevCache::Entry* DevCache::find(const mpi::DatatypePtr& dt,
   }
   ++hits_;
   obs::count(rec_, "dev_cache.hits");
+  if (it->second.entry->first_type_id != dt->type_id()) {
+    // Served to a different instance than the one that compiled it: the
+    // shape keying just saved a full conversion + upload.
+    ++shape_dedup_hits_;
+    obs::count(rec_, "dev_cache.shape_dedup.hits");
+  }
   touch(it->second);
   return it->second.entry.get();
 }
@@ -45,12 +70,7 @@ const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
                                         std::int64_t count,
                                         std::int64_t unit_bytes,
                                         std::vector<CudaDevDist> units) {
-  const Key k{dt->type_id(), count, unit_bytes};
-  auto it = entries_.find(k);
-  if (it != entries_.end()) {
-    touch(it->second);
-    return it->second.entry.get();  // already present; keep existing copy
-  }
+  const Key k{dt->shape_digest(), count, unit_bytes};
   if (validate_ && count > 0) {
     const std::int64_t tlb = dt->true_lb();
     const check::DevListBounds b{
@@ -59,10 +79,47 @@ const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
     check::validate_dev_list(std::span<const CudaDevDist>(units), b,
                              "dev_cache.insert");
   }
+  auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    Entry& e = *it->second.entry;
+    if (e.units == units) {
+      // Same program resident already: keep the existing copy (and its
+      // device uploads). Count the coalesce when another instance of the
+      // shape raced the fill.
+      if (e.first_type_id != dt->type_id()) {
+        ++shape_dedup_coalesced_;
+        shape_dedup_bytes_saved_ += entry_bytes(e);
+        obs::count(rec_, "dev_cache.shape_dedup.inserts_coalesced");
+        obs::count(rec_, "dev_cache.shape_dedup.bytes_saved",
+                   entry_bytes(e));
+      }
+      touch(it->second);
+      return &e;
+    }
+    // Re-insert with a different program (e.g. the same shape converted
+    // under a different engine state): replace the units and charge the
+    // byte *delta* - the old accounting double-counted the entry.
+    const std::int64_t old_bytes = entry_bytes(e);
+    for (auto& [dev, ptr] : e.device_copies) sg::Free(ctx, ptr);
+    e.device_copies.clear();
+    e.total_bytes = 0;
+    for (const auto& u : units) e.total_bytes += u.length;
+    e.units = std::move(units);
+    e.first_type_id = dt->type_id();
+    const std::int64_t delta = entry_bytes(e) - old_bytes;
+    bytes_ += delta;
+    obs::count(rec_, "dev_cache.bytes", delta);
+    touch(it->second);
+    evict_if_needed(ctx);
+    // evict_if_needed never evicts the most-recent entry, so `e` stays
+    // valid here.
+    return &e;
+  }
   auto entry = std::make_unique<Entry>();
   entry->total_bytes = 0;
   for (const auto& u : units) entry->total_bytes += u.length;
   entry->units = std::move(units);
+  entry->first_type_id = dt->type_id();
   const Entry* out = entry.get();
   bytes_ += entry_bytes(*entry);
   obs::count(rec_, "dev_cache.bytes", entry_bytes(*entry));
@@ -126,10 +183,10 @@ void DevCache::clear(sg::HostContext& ctx) {
   bytes_ = 0;
 }
 
-std::vector<std::uint64_t> DevCache::lru_type_ids() const {
+std::vector<std::uint64_t> DevCache::lru_shape_digests() const {
   std::vector<std::uint64_t> out;
   out.reserve(lru_.size());
-  for (const auto& k : lru_) out.push_back(k.type_id);
+  for (const auto& k : lru_) out.push_back(k.shape);
   return out;
 }
 

@@ -5,11 +5,17 @@
 // either in the main or GPU memory, thereby minimizing the overheads of
 // future pack/unpack operations."
 //
-// Keyed by (datatype instance, count, unit size). Holds the host-side unit
-// array and, lazily, a device-resident copy per device (so repeated
-// pack/unpack skips both the conversion and the descriptor upload).
-// Entries carry their LRU-list iterator, so a hit promotes in O(1) via
-// std::list::splice instead of scanning the recency list.
+// Keyed by (shape digest, count, unit size): the digest of the
+// *canonical* datatype form (mpi/canonical.h), not the per-instance
+// type_id - structurally equal types built through different constructor
+// paths share one entry, so a many-type workload holds one DEV program
+// per distinct shape instead of one per committed instance. Holds the
+// host-side unit array and, lazily, a device-resident copy per device
+// (so repeated pack/unpack skips both the conversion and the descriptor
+// upload). Entries carry their LRU-list iterator, so a hit promotes in
+// O(1) via std::list::splice instead of scanning the recency list.
+// Dedup traffic is observable through the dev_cache.shape_dedup.*
+// counters (docs/metrics.md).
 #pragma once
 
 #include <cstdint>
@@ -35,6 +41,10 @@ class DevCache {
     std::int64_t total_bytes = 0;
     /// Device-resident copies of `units`, per device id.
     std::map<int, void*> device_copies;
+    /// type_id of the instance that populated the entry; a find() or
+    /// insert() from a *different* instance of the same shape is a
+    /// shape-dedup event.
+    std::uint64_t first_type_id = 0;
   };
 
   /// `max_bytes` bounds the summed descriptor footprint of the cached
@@ -80,23 +90,38 @@ class DevCache {
   std::int64_t bytes() const { return bytes_; }
   /// Descriptor bytes released by evictions so far.
   std::int64_t evictions_bytes() const { return evictions_bytes_; }
+  /// Hits served to a different type instance than the one that filled
+  /// the entry (the shape-keying win; dev_cache.shape_dedup.hits).
+  std::uint64_t shape_dedup_hits() const { return shape_dedup_hits_; }
+  /// Inserts coalesced onto a resident entry of the same shape from a
+  /// different instance (dev_cache.shape_dedup.inserts_coalesced).
+  std::uint64_t shape_dedup_coalesced() const { return shape_dedup_coalesced_; }
+  /// Descriptor bytes those coalesced inserts did not duplicate.
+  std::int64_t shape_dedup_bytes_saved() const {
+    return shape_dedup_bytes_saved_;
+  }
 
-  /// Cache keys from most- to least-recently used (tests, introspection).
-  std::vector<std::uint64_t> lru_type_ids() const;
+  /// Cache keys (shape digests) from most- to least-recently used
+  /// (tests, introspection).
+  std::vector<std::uint64_t> lru_shape_digests() const;
+
+  /// The key hash (exposed for the collision-regression test): FNV-1a
+  /// over all 24 key bytes. The previous `h * prime ^ hash(field)`
+  /// mixing collapsed for common small-integer field values.
+  static std::uint64_t key_hash(std::uint64_t shape, std::int64_t count,
+                                std::int64_t unit_bytes);
 
  private:
   struct Key {
-    std::uint64_t type_id;
+    std::uint64_t shape;  // Datatype::shape_digest()
     std::int64_t count;
     std::int64_t unit_bytes;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      std::size_t h = std::hash<std::uint64_t>{}(k.type_id);
-      h = h * 1099511628211ULL ^ std::hash<std::int64_t>{}(k.count);
-      h = h * 1099511628211ULL ^ std::hash<std::int64_t>{}(k.unit_bytes);
-      return h;
+      return static_cast<std::size_t>(
+          key_hash(k.shape, k.count, k.unit_bytes));
     }
   };
   struct Node {
@@ -116,6 +141,9 @@ class DevCache {
   std::int64_t max_bytes_ = 0;  // 0 = no byte bound
   std::int64_t bytes_ = 0;
   std::int64_t evictions_bytes_ = 0;
+  mutable std::uint64_t shape_dedup_hits_ = 0;
+  std::uint64_t shape_dedup_coalesced_ = 0;
+  std::int64_t shape_dedup_bytes_saved_ = 0;
   std::unordered_map<Key, Node, KeyHash> entries_;
   mutable std::list<Key> lru_;  // front = most recent
   mutable std::uint64_t hits_ = 0;

@@ -10,7 +10,9 @@
 //     units - in chunks, pipelined with kernel execution (S3.2) - uploads
 //     the descriptors, and launches the DEV kernel;
 //   * converted unit arrays are cached (host + device copies) and reused
-//     whenever the same (datatype, count) is packed again.
+//     whenever the same datatype *shape* and count is packed again - the
+//     cache keys on the canonical-form digest (mpi/canonical.h), so
+//     structurally equal types built by different callers share entries.
 //
 // The contiguous side of an operation may live in local device memory, in
 // zero-copy mapped host memory (the copy-in/out protocol's bounce buffers)

@@ -1,0 +1,254 @@
+#include "mpi/canonical.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+namespace gpuddt::mpi {
+
+namespace {
+
+/// Parsed program node: either one contiguous block or a loop over a
+/// canonical body. Displacements are relative to the enclosing frame,
+/// exactly as in the Instr encoding.
+struct Node {
+  bool is_block = true;
+  std::int64_t disp = 0;
+  std::int64_t len = 0;    // block only
+  std::int64_t count = 0;  // loop only
+  std::int64_t step = 0;   // loop only
+  std::vector<Node> kids;  // loop body
+
+  bool operator==(const Node&) const = default;
+};
+
+std::vector<Node> parse(std::span<const Instr> prog, std::size_t i0,
+                        std::size_t i1) {
+  std::vector<Node> out;
+  std::size_t i = i0;
+  while (i < i1) {
+    const Instr& in = prog[i];
+    if (in.op == Instr::Op::kBlock) {
+      Node n;
+      n.is_block = true;
+      n.disp = in.disp;
+      n.len = in.len;
+      out.push_back(std::move(n));
+      ++i;
+    } else if (in.op == Instr::Op::kLoop) {
+      Node n;
+      n.is_block = false;
+      n.disp = in.disp;
+      n.count = in.count;
+      n.step = in.step;
+      n.kids = parse(prog, i + 1, static_cast<std::size_t>(in.body_end));
+      out.push_back(std::move(n));
+      i = static_cast<std::size_t>(in.body_end) + 1;
+    } else {
+      ++i;  // stray kEndLoop (malformed input; skip)
+    }
+  }
+  return out;
+}
+
+/// Append preserving emission order, merging a block that continues the
+/// previous sibling block (they were already contiguous in the emitted
+/// byte order, so the merge is traversal-neutral).
+void append_node(std::vector<Node>& out, Node n) {
+  if (n.is_block) {
+    if (n.len <= 0) return;
+    if (!out.empty() && out.back().is_block &&
+        out.back().disp + out.back().len == n.disp) {
+      out.back().len += n.len;
+      return;
+    }
+  }
+  out.push_back(std::move(n));
+}
+
+std::vector<Node> canon_seq(std::vector<Node> seq);
+
+/// Simplify one loop whose body is already canonical. May expand into
+/// several siblings (count-1 inlining) or collapse to a block.
+std::vector<Node> simplify_loop(Node loop) {
+  std::vector<Node> out;
+  loop.kids = canon_seq(std::move(loop.kids));
+  if (loop.count <= 0 || loop.kids.empty()) return out;
+  if (loop.count == 1) {
+    // Inline: a single iteration is just the body at the loop's frame.
+    for (Node& k : loop.kids) {
+      k.disp += loop.disp;
+      append_node(out, std::move(k));
+    }
+    return out;
+  }
+  // Hoist the body's leading displacement so equal shapes reached through
+  // different nesting agree on where "the loop" starts.
+  const std::int64_t d0 = loop.kids.front().disp;
+  if (d0 != 0) {
+    for (Node& k : loop.kids) k.disp -= d0;
+    loop.disp += d0;
+  }
+  if (loop.kids.size() == 1) {
+    Node& kid = loop.kids.front();
+    if (kid.is_block && loop.step == kid.len) {
+      // Unit stride: the iterations tile a contiguous region.
+      Node blk;
+      blk.is_block = true;
+      blk.disp = loop.disp;
+      blk.len = loop.count * kid.len;
+      append_node(out, std::move(blk));
+      return out;
+    }
+    if (!kid.is_block && kid.disp == 0 &&
+        loop.step == kid.count * kid.step) {
+      // Perfect nesting: outer stride continues the inner progression.
+      Node fused;
+      fused.is_block = false;
+      fused.disp = loop.disp;
+      fused.count = loop.count * kid.count;
+      fused.step = kid.step;
+      fused.kids = std::move(kid.kids);
+      append_node(out, std::move(fused));
+      return out;
+    }
+  }
+  out.push_back(std::move(loop));
+  return out;
+}
+
+/// Displacement shift carrying `a` onto `b` when they are structurally
+/// identical up to a constant translate; nullopt otherwise.
+std::optional<std::int64_t> shift_between(const Node& a, const Node& b) {
+  if (a.is_block != b.is_block) return std::nullopt;
+  if (a.is_block) {
+    if (a.len != b.len) return std::nullopt;
+    return b.disp - a.disp;
+  }
+  if (a.count != b.count || a.step != b.step || a.kids != b.kids)
+    return std::nullopt;
+  return b.disp - a.disp;
+}
+
+/// Re-roll maximal runs of >= 2 translate-identical siblings into a loop
+/// (the RegularPattern hiding inside indexed/struct types). One pass;
+/// callers iterate to a fixpoint.
+std::vector<Node> roll_runs(const std::vector<Node>& seq) {
+  std::vector<Node> out;
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    std::size_t j = i;
+    std::optional<std::int64_t> d;
+    if (i + 1 < seq.size()) d = shift_between(seq[i], seq[i + 1]);
+    if (d) {
+      j = i + 1;
+      while (j + 1 < seq.size() && shift_between(seq[j], seq[j + 1]) == d)
+        ++j;
+    }
+    const std::size_t run = j - i + 1;
+    if (run >= 2) {
+      Node loop;
+      loop.is_block = false;
+      loop.count = static_cast<std::int64_t>(run);
+      loop.step = *d;
+      loop.disp = seq[i].disp;
+      Node body = seq[i];
+      body.disp = 0;
+      loop.kids.push_back(std::move(body));
+      // Simplify so e.g. a rolled run of adjacent equal blocks collapses
+      // straight back to one contiguous block.
+      for (Node& n : simplify_loop(std::move(loop)))
+        append_node(out, std::move(n));
+      i = j + 1;
+      continue;
+    }
+    append_node(out, seq[i]);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Node> canon_seq(std::vector<Node> seq) {
+  std::vector<Node> out;
+  for (Node& n : seq) {
+    if (n.is_block) {
+      append_node(out, std::move(n));
+    } else {
+      for (Node& s : simplify_loop(std::move(n)))
+        append_node(out, std::move(s));
+    }
+  }
+  // Re-roll until stable: folding one run can expose another (a rolled
+  // loop may now match a pre-existing sibling loop, or collapse into a
+  // block that continues its neighbor). Every fold strictly shrinks the
+  // node count, so this terminates.
+  for (;;) {
+    std::vector<Node> next = roll_runs(out);
+    if (next == out) break;
+    out = std::move(next);
+  }
+  return out;
+}
+
+void emit(const std::vector<Node>& seq, std::vector<Instr>& out) {
+  for (const Node& n : seq) {
+    if (n.is_block) {
+      out.push_back(Instr::block(n.disp, n.len));
+    } else {
+      const std::size_t loop_index = out.size();
+      out.push_back(Instr::loop(n.count, n.step, n.disp));
+      emit(n.kids, out);
+      out.push_back(Instr::end_loop());
+      out[loop_index].body_end = static_cast<std::int32_t>(out.size() - 1);
+    }
+  }
+}
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Instr> canonicalize_program(std::span<const Instr> program) {
+  const std::vector<Node> tree =
+      canon_seq(parse(program, 0, program.size()));
+  std::vector<Instr> out;
+  out.reserve(program.size());
+  emit(tree, out);
+  return out;
+}
+
+std::uint64_t shape_digest(std::span<const Instr> canonical,
+                           std::int64_t extent) {
+  std::uint64_t h = kFnvBasis;
+  h = fnv1a(h, static_cast<std::uint64_t>(canonical.size()));
+  for (const Instr& in : canonical) {
+    h = fnv1a(h, static_cast<std::uint64_t>(in.op));
+    switch (in.op) {
+      case Instr::Op::kLoop:
+        h = fnv1a(h, static_cast<std::uint64_t>(in.count));
+        h = fnv1a(h, static_cast<std::uint64_t>(in.step));
+        h = fnv1a(h, static_cast<std::uint64_t>(in.disp));
+        break;
+      case Instr::Op::kBlock:
+        h = fnv1a(h, static_cast<std::uint64_t>(in.disp));
+        h = fnv1a(h, static_cast<std::uint64_t>(in.len));
+        break;
+      case Instr::Op::kEndLoop:
+        break;
+    }
+  }
+  h = fnv1a(h, static_cast<std::uint64_t>(extent));
+  return h;
+}
+
+}  // namespace gpuddt::mpi

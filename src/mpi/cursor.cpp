@@ -2,11 +2,14 @@
 
 namespace gpuddt::mpi {
 
-BlockCursor::BlockCursor(DatatypePtr dt, std::int64_t count)
+BlockCursor::BlockCursor(DatatypePtr dt, std::int64_t count,
+                         ProgramView view)
     : dt_(std::move(dt)), count_(count) {
   assert(count >= 0);
+  prog_ = view == ProgramView::kCanonical ? &dt_->canonical_program()
+                                          : &dt_->program();
   total_ = remaining_ = dt_->size() * count_;
-  if (count_ == 0 || dt_->program().empty()) remaining_ = total_ = 0;
+  if (count_ == 0 || prog_->empty()) remaining_ = total_ = 0;
   elem_base_ = 0;
 }
 
@@ -15,7 +18,7 @@ BlockCursor::BlockCursor(DatatypePtr dt, std::int64_t count)
 /// either remaining_ == 0 or ip_ points at a kBlock ready to emit, with
 /// the correct frame base on top of the stack.
 void BlockCursor::advance_instr() {
-  const auto& prog = dt_->program();
+  const auto& prog = *prog_;
   ++ip_;
   for (;;) {
     if (ip_ >= static_cast<std::int32_t>(prog.size())) {
@@ -64,7 +67,7 @@ void BlockCursor::advance_instr() {
 
 bool BlockCursor::next(std::int64_t max_bytes, Block* out) {
   if (remaining_ == 0 || max_bytes <= 0) return false;
-  const auto& prog = dt_->program();
+  const auto& prog = *prog_;
   // Position on a block: at construction ip_ == 0 which may not be a block.
   if (in_block_ == 0) {
     // If ip_ doesn't currently point at a block (fresh cursor or after

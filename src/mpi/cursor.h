@@ -27,8 +27,15 @@ struct Block {
 
 class BlockCursor {
  public:
+  /// Which compiled form to traverse. Both emit the same bytes in the
+  /// same order; kCanonical walks the normalized program
+  /// (mpi/canonical.h) so structurally equal types traverse - and the
+  /// DEV conversion compiles - identically.
+  enum class ProgramView : std::uint8_t { kCompiled, kCanonical };
+
   BlockCursor() = default;
-  BlockCursor(DatatypePtr dt, std::int64_t count);
+  BlockCursor(DatatypePtr dt, std::int64_t count,
+              ProgramView view = ProgramView::kCompiled);
 
   /// Produce the next piece, at most `max_bytes` long. Returns false when
   /// the traversal is complete. A block longer than `max_bytes` is split;
@@ -58,6 +65,7 @@ class BlockCursor {
   void advance_instr();
 
   DatatypePtr dt_;
+  const std::vector<Instr>* prog_ = nullptr;  // selected by ProgramView
   std::int64_t count_ = 0;
   std::int64_t elem_ = 0;      // current element index
   std::int64_t elem_base_ = 0; // elem_ * extent

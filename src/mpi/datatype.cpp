@@ -1,6 +1,8 @@
 #include "mpi/datatype.h"
 
 #include <algorithm>
+
+#include "mpi/canonical.h"
 #include <atomic>
 #include <sstream>
 #include <vector>
@@ -300,6 +302,9 @@ DatatypePtr Datatype::finalize(std::vector<Instr> program, Signature sig,
                dt->program_[0].disp == 0 && dt->lb_ == 0 &&
                dt->extent_ == dt->size_;
   dt->type_id_ = g_next_type_id.fetch_add(1, std::memory_order_relaxed);
+  dt->canonical_program_ = canonicalize_program(dt->program_);
+  dt->shape_digest_ =
+      ::gpuddt::mpi::shape_digest(dt->canonical_program_, dt->extent_);
   return dt;
 }
 
@@ -647,19 +652,23 @@ bool Datatype::is_contiguous(std::int64_t count) const {
 
 std::optional<RegularPattern> Datatype::regular_pattern(
     std::int64_t count) const {
-  if (count <= 0 || program_.empty()) return std::nullopt;
-  if (program_.size() == 1 && program_[0].op == Instr::Op::kBlock) {
-    const Instr& b = program_[0];
+  // Decided on the canonical program: a uniform strided pattern hiding
+  // inside an indexed/struct construction re-rolls into the 3-instr
+  // loop{block} shape and takes the vector fast path too.
+  const std::vector<Instr>& prog = canonical_program_;
+  if (count <= 0 || prog.empty()) return std::nullopt;
+  if (prog.size() == 1 && prog[0].op == Instr::Op::kBlock) {
+    const Instr& b = prog[0];
     if (count == 1 || extent_ == b.len) {
       return RegularPattern{b.disp, count * b.len, count * b.len, 1};
     }
     return RegularPattern{b.disp, b.len, extent_, count};
   }
-  if (program_.size() == 3 && program_[0].op == Instr::Op::kLoop &&
-      program_[1].op == Instr::Op::kBlock &&
-      program_[2].op == Instr::Op::kEndLoop) {
-    const Instr& lp = program_[0];
-    const Instr& b = program_[1];
+  if (prog.size() == 3 && prog[0].op == Instr::Op::kLoop &&
+      prog[1].op == Instr::Op::kBlock &&
+      prog[2].op == Instr::Op::kEndLoop) {
+    const Instr& lp = prog[0];
+    const Instr& b = prog[1];
     // Uniform across element boundaries only if the next element's first
     // block continues the same arithmetic progression.
     if (count == 1 || extent_ == lp.count * lp.step) {

@@ -84,6 +84,8 @@ struct Instr {
     i.op = Op::kEndLoop;
     return i;
   }
+
+  bool operator==(const Instr&) const = default;
 };
 
 /// Run-length-encoded primitive sequence: the datatype *signature*. Two
@@ -222,7 +224,21 @@ class Datatype : public std::enable_shared_from_this<Datatype> {
   const std::vector<Instr>& program() const { return program_; }
   const Signature& signature() const { return signature_; }
 
-  /// Unique id of this committed type instance (DEV-cache key component).
+  /// Canonical form of program() (mpi/canonical.h): same byte-visit
+  /// order, normalized structure. Structurally equal types - however
+  /// they were constructed - share one canonical program. The DEV
+  /// conversion walks this form so equal shapes compile to identical
+  /// unit lists.
+  const std::vector<Instr>& canonical_program() const {
+    return canonical_program_;
+  }
+
+  /// Stable 64-bit digest of the canonical program + extent: the shape
+  /// key the DEV cache is keyed on. Equal for structurally equal types.
+  std::uint64_t shape_digest() const { return shape_digest_; }
+
+  /// Unique id of this committed type instance (shape-dedup accounting;
+  /// the DEV cache itself keys on shape_digest()).
   std::uint64_t type_id() const { return type_id_; }
 
   /// How this type was constructed (MPI_Type_get_envelope /
@@ -247,6 +263,7 @@ class Datatype : public std::enable_shared_from_this<Datatype> {
                               TypeContents contents = {});
 
   std::vector<Instr> program_;
+  std::vector<Instr> canonical_program_;
   Signature signature_;
   std::int64_t size_ = 0;
   std::int64_t extent_ = 0;
@@ -256,6 +273,7 @@ class Datatype : public std::enable_shared_from_this<Datatype> {
   std::int64_t blocks_per_element_ = 0;
   bool dense_ = false;
   std::uint64_t type_id_ = 0;
+  std::uint64_t shape_digest_ = 0;
   TypeContents contents_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <random>
+#include <set>
 
 #include "core/dev.h"
 #include "core/dev_cache.h"
@@ -141,28 +142,28 @@ TEST(DevCache, CountsEvictionsAndKeepsLruOrder) {
   cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));
   cache.insert(ctx, c, 1, 1024, convert_all(c, 1, 1024));
   EXPECT_EQ(cache.evictions(), 0u);
-  EXPECT_EQ(cache.lru_type_ids(),
-            (std::vector<std::uint64_t>{c->type_id(), b->type_id(),
-                                        a->type_id()}));
+  EXPECT_EQ(cache.lru_shape_digests(),
+            (std::vector<std::uint64_t>{c->shape_digest(), b->shape_digest(),
+                                        a->shape_digest()}));
   EXPECT_NE(cache.find(a, 1, 1024), nullptr);  // promote a
   EXPECT_NE(cache.find(b, 1, 1024), nullptr);  // promote b
-  EXPECT_EQ(cache.lru_type_ids(),
-            (std::vector<std::uint64_t>{b->type_id(), a->type_id(),
-                                        c->type_id()}));
+  EXPECT_EQ(cache.lru_shape_digests(),
+            (std::vector<std::uint64_t>{b->shape_digest(), a->shape_digest(),
+                                        c->shape_digest()}));
   cache.insert(ctx, d, 1, 1024, convert_all(d, 1, 1024));  // evicts c
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.evictions(), 1u);
   EXPECT_EQ(cache.find(c, 1, 1024), nullptr);
-  EXPECT_EQ(cache.lru_type_ids(),
-            (std::vector<std::uint64_t>{d->type_id(), b->type_id(),
-                                        a->type_id()}));
+  EXPECT_EQ(cache.lru_shape_digests(),
+            (std::vector<std::uint64_t>{d->shape_digest(), b->shape_digest(),
+                                        a->shape_digest()}));
   // Re-inserting an existing key only touches it; nothing is evicted.
   cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.lru_type_ids(),
-            (std::vector<std::uint64_t>{b->type_id(), d->type_id(),
-                                        a->type_id()}));
+  EXPECT_EQ(cache.lru_shape_digests(),
+            (std::vector<std::uint64_t>{b->shape_digest(), d->shape_digest(),
+                                        a->shape_digest()}));
 }
 
 TEST(DevCache, ByteBoundEvictsUnderEntryBudget) {
@@ -217,6 +218,88 @@ TEST(DevCache, ExportsByteCounters) {
   cache.clear(ctx);
   counters = rec.metrics().counters_snapshot();
   EXPECT_EQ(counters.at("dev_cache.bytes"), 0);
+}
+
+TEST(DevCache, KeyHashMixesAllFields) {
+  // Regression: the previous `h * prime ^ hash(field)` mixing collapsed
+  // for common small-integer fields (the xor of a near-identity
+  // std::hash lands in the low bits the multiply just vacated). Proper
+  // FNV-1a over all key bytes must give distinct hashes across a dense
+  // grid of realistic small keys.
+  std::set<std::uint64_t> seen;
+  std::size_t n = 0;
+  for (std::uint64_t shape = 1; shape <= 16; ++shape) {
+    for (std::int64_t count = 1; count <= 16; ++count) {
+      for (std::int64_t unit : {256, 512, 1024, 2048, 4096}) {
+        seen.insert(DevCache::key_hash(shape, count, unit));
+        ++n;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+  // Field transposition must not collide either.
+  EXPECT_NE(DevCache::key_hash(1, 2, 1024), DevCache::key_hash(2, 1, 1024));
+}
+
+TEST(DevCache, ReinsertChargesByteDelta) {
+  // Re-inserting an existing key with a different program size must
+  // charge the byte delta, not double-count the entry (and must free the
+  // stale device copies).
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  obs::Recorder rec;
+  const std::int64_t d = sizeof(CudaDevDist);
+  DevCache cache;
+  cache.set_recorder(&rec);
+  auto a = core::lower_triangular_type(16, 16);
+  const auto* e = cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  const auto n0 = static_cast<std::int64_t>(e->units.size());
+  EXPECT_EQ(cache.bytes(), n0 * d);
+  cache.device_units(ctx, *e);  // upload, so the replace must free it
+  // Same key, different program: a hand-built list of a different size.
+  std::vector<CudaDevDist> other(static_cast<std::size_t>(n0) + 3);
+  std::int64_t pk = 0;
+  for (auto& u : other) {
+    u = {pk, pk, 8};
+    pk += 8;
+  }
+  cache.insert(ctx, a, 1, 1024, std::move(other));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), (n0 + 3) * d);  // delta charged, no double count
+  const auto counters = rec.metrics().counters_snapshot();
+  EXPECT_EQ(counters.at("dev_cache.bytes"), cache.bytes());
+  EXPECT_EQ(cache.evictions(), 0u);
+  // And an identical re-insert (the coalesce path) changes nothing.
+  const auto* e2 = cache.find(a, 1, 1024);
+  ASSERT_NE(e2, nullptr);
+  auto same = e2->units;
+  cache.insert(ctx, a, 1, 1024, std::move(same));
+  EXPECT_EQ(cache.bytes(), (n0 + 3) * d);
+}
+
+TEST(DevCache, ShapeDedupAcrossInstances) {
+  // Two structurally identical types built independently share one
+  // entry; the second find/insert is counted as shape-dedup traffic.
+  sg::Machine m;
+  sg::HostContext ctx(m, 0);
+  obs::Recorder rec;
+  DevCache cache;
+  cache.set_recorder(&rec);
+  auto a = core::lower_triangular_type(16, 16);
+  auto b = core::lower_triangular_type(16, 16);  // fresh instance
+  ASSERT_NE(a->type_id(), b->type_id());
+  ASSERT_EQ(a->shape_digest(), b->shape_digest());
+  cache.insert(ctx, a, 1, 1024, convert_all(a, 1, 1024));
+  EXPECT_NE(cache.find(b, 1, 1024), nullptr);  // hit, not a second entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.shape_dedup_hits(), 1u);
+  cache.insert(ctx, b, 1, 1024, convert_all(b, 1, 1024));  // coalesced
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.shape_dedup_coalesced(), 1u);
+  EXPECT_GT(cache.shape_dedup_bytes_saved(), 0);
+  const auto counters = rec.metrics().counters_snapshot();
+  EXPECT_EQ(counters.at("dev_cache.shape_dedup.hits"), 1);
+  EXPECT_EQ(counters.at("dev_cache.shape_dedup.inserts_coalesced"), 1);
 }
 
 // --- Kernels: functional + profile shape -----------------------------------------------

@@ -49,8 +49,10 @@ run build/tools/trace_critpath --check-efficiency \
 
 # 5. Determinism sweep: every benchmark binary must double-run to
 #    byte-identical canonical metrics (the in-suite bench_determinism
-#    ctest entry covers one binary; this covers them all). The checked-in
-#    baseline gates (bench_baseline_gate*) already ran as part of ctest.
+#    ctest entries cover bench_fig10_pingpong and the seeded datatype-zoo
+#    capacity sweep bench_ddt_zoo; this covers them all). The checked-in
+#    baseline gates (bench_baseline_gate*, including the shape-dedup
+#    workload's bench_baseline_gate_ddt_zoo) already ran as part of ctest.
 run build/tools/determinism_check build/bench/bench_*
 
 # 6. Lint (no-op with a notice when clang-tidy is not installed).

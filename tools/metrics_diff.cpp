@@ -35,6 +35,14 @@
 //       that must be reviewed (and the baseline regenerated with
 //       tools/regen_baselines.sh). Prints the per-key differences and
 //       exits 1 on mismatch.
+//
+// Exit codes (both --gate forms distinguish the failure kinds so CI
+// logs are diagnosable at a glance):
+//   0 - ok
+//   1 - gate breached / baseline mismatch / validation failure
+//   2 - usage error
+//   3 - baseline file missing or unreadable (first gate operand)
+//   4 - candidate file missing or unreadable (second gate operand)
 //   metrics_diff --canon FILE
 //       Print FILE's canonical form on stdout (how baselines are
 //       regenerated).
@@ -57,12 +65,30 @@ namespace {
 
 using gpuddt::obs::json::Value;
 
+constexpr int kExitMismatch = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBaselineMissing = 3;
+constexpr int kExitCandidateMissing = 4;
+
 Value load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return gpuddt::obs::json::parse(ss.str());
+}
+
+/// Load one gate operand, exiting with `missing_code` (3 = baseline,
+/// 4 = candidate) when the file cannot be opened or parsed - distinct
+/// from the mismatch exit so a CI failure names its own cause.
+Value load_gate_operand(const std::string& path, const char* role,
+                        int missing_code) {
+  try {
+    return load(path);
+  } catch (const std::exception& e) {
+    std::cerr << "metrics_diff: " << role << " " << e.what() << "\n";
+    std::exit(missing_code);
+  }
 }
 
 void check_schema(const Value& doc, const std::string& path) {
@@ -327,8 +353,8 @@ int diff_exact(const char* title, const gpuddt::obs::json::Object& a,
 }
 
 int gate_baseline(const std::string& pa, const std::string& pb) {
-  const Value a = load(pa);
-  const Value b = load(pb);
+  const Value a = load_gate_operand(pa, "baseline", kExitBaselineMissing);
+  const Value b = load_gate_operand(pb, "candidate", kExitCandidateMissing);
   const std::string ca = gpuddt::obs::canonical_metrics(a);
   const std::string cb = gpuddt::obs::canonical_metrics(b);
   if (ca == cb) {
@@ -346,7 +372,7 @@ int gate_baseline(const std::string& pa, const std::string& pb) {
             << " difference(s) against checked-in baseline " << pa << "\n"
             << "(intended change? regenerate with "
                "tools/regen_baselines.sh)\n";
-  return 1;
+  return kExitMismatch;
 }
 
 int canon(const std::string& path) {
@@ -357,8 +383,8 @@ int canon(const std::string& path) {
 
 int gate(const std::string& pa, const std::string& pb, int nspecs,
          char** specs) {
-  const Value a = load(pa);
-  const Value b = load(pb);
+  const Value a = load_gate_operand(pa, "baseline", kExitBaselineMissing);
+  const Value b = load_gate_operand(pb, "candidate", kExitCandidateMissing);
   check_schema(a, pa);
   check_schema(b, pb);
   int failures = 0;
@@ -406,7 +432,7 @@ int gate(const std::string& pa, const std::string& pb, int nspecs,
   }
   if (failures > 0) {
     std::cerr << failures << " gate(s) breached\n";
-    return 1;
+    return kExitMismatch;
   }
   return 0;
 }
@@ -442,5 +468,5 @@ int main(int argc, char** argv) {
                "       metrics_diff --gate A.json B.json KEY<=PCT...\n"
                "       metrics_diff --gate --baseline BASE.json CAND.json\n"
                "       metrics_diff --canon FILE\n";
-  return 2;
+  return kExitUsage;
 }

@@ -23,6 +23,7 @@ BASELINES=(
   "coll_datatype|bench_coll_datatype|"
   "onesided|bench_onesided|"
   "ablation_pipeline|bench_ablation_pipeline|"
+  "ddt_zoo|bench_ddt_zoo|"
 )
 
 binaries=(metrics_diff)
