@@ -5,6 +5,7 @@
 
 #include "check/dev_invariants.h"
 #include "obs/recorder.h"
+#include "verify/hook.h"
 
 namespace gpuddt::core {
 
@@ -21,6 +22,13 @@ void DevCache::set_recorder(obs::Recorder* rec) {
   rec_->metrics().counter("dev_cache.shape_dedup.hits");
   rec_->metrics().counter("dev_cache.shape_dedup.inserts_coalesced");
   rec_->metrics().counter("dev_cache.shape_dedup.bytes_saved");
+  // Verifier hook counters (src/verify/hook.h): pre-registered so dumps
+  // report zeroes when certification is disabled for the run.
+  rec_->metrics().counter("verify.obligations.proved");
+  rec_->metrics().counter("verify.obligations.failed");
+  rec_->metrics().counter("verify.devs.certified");
+  rec_->metrics().counter("verify.devs.rejected");
+  rec_->metrics().counter("verify.prover_ns");
 }
 
 std::uint64_t DevCache::key_hash(std::uint64_t shape, std::int64_t count,
@@ -78,6 +86,14 @@ const DevCache::Entry* DevCache::insert(sg::HostContext& ctx,
         dt->size() * count, unit_bytes};
     check::validate_dev_list(std::span<const CudaDevDist>(units), b,
                              "dev_cache.insert");
+  }
+  if (verify::enabled()) {
+    // Symbolic certification (src/verify/): proves the unit list
+    // byte-exact against the datatype's tree/program/canonical layouts
+    // before the DEV can become reachable from the cache. Throws
+    // verify::CertificationFailure on any unproven obligation.
+    verify::certify_insert(dt, count, unit_bytes,
+                           std::span<const CudaDevDist>(units), rec_);
   }
   auto it = entries_.find(k);
   if (it != entries_.end()) {

@@ -390,6 +390,17 @@ void GpuDatatypeEngine::prefetch(const mpi::DatatypePtr& dt,
   cache_.device_units(ctx_, *entry);  // upload now, not on first use
 }
 
+GpuDatatypeEngine::PipelineShape GpuDatatypeEngine::pipeline_shape() const {
+  PipelineShape s;
+  // Two descriptor slots: upload_descriptors() flips desc_slot_ between
+  // exactly two scratch buffers. If the double-buffer ever grows, this
+  // must follow, or the verifier's model diverges from the engine.
+  s.desc_slots = 2;
+  s.residue_separate_stream = cfg_.residue_separate_stream;
+  s.pipeline_conversion = cfg_.pipeline_conversion;
+  return s;
+}
+
 void GpuDatatypeEngine::synchronize() {
   sg::StreamSynchronize(ctx_, kernel_stream_);
   sg::StreamSynchronize(ctx_, upload_stream_);

@@ -180,6 +180,18 @@ class GpuDatatypeEngine {
   /// Block the host clock until all kernels of this engine completed.
   void synchronize();
 
+  /// Static shape of the synchronization this engine issues per op: the
+  /// descriptor double-buffer depth and whether residues run on their
+  /// own stream. The static pipeline-hazard prover
+  /// (src/verify/pipeline.h) builds its happens-before DAG from exactly
+  /// these parameters, so the model provably matches the configuration.
+  struct PipelineShape {
+    int desc_slots = 2;
+    bool residue_separate_stream = false;
+    bool pipeline_conversion = true;
+  };
+  PipelineShape pipeline_shape() const;
+
   sg::Stream& pack_stream() { return kernel_stream_; }
   DevCache& cache() { return cache_; }
   const EngineStats& stats() const { return stats_; }

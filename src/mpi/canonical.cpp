@@ -227,6 +227,32 @@ std::vector<Instr> canonicalize_program(std::span<const Instr> program) {
   return out;
 }
 
+bool program_well_formed(std::span<const Instr> program) {
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Instr& in = program[i];
+    switch (in.op) {
+      case Instr::Op::kBlock:
+        if (in.len < 0) return false;
+        break;
+      case Instr::Op::kLoop:
+        if (in.count < 0) return false;
+        stack.push_back(i);
+        break;
+      case Instr::Op::kEndLoop: {
+        if (stack.empty()) return false;
+        const std::size_t open = stack.back();
+        stack.pop_back();
+        if (static_cast<std::size_t>(program[open].body_end) != i) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return stack.empty();
+}
+
 std::uint64_t shape_digest(std::span<const Instr> canonical,
                            std::int64_t extent) {
   std::uint64_t h = kFnvBasis;

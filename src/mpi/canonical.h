@@ -43,6 +43,13 @@ namespace gpuddt::mpi {
 /// emits exactly the same byte sequence in the same order.
 std::vector<Instr> canonicalize_program(std::span<const Instr> program);
 
+/// Structural sanity of a loop/block program: every kLoop's body_end
+/// links the matching kEndLoop, nesting balances, and no count/length
+/// is negative. The static verifier (src/verify/) checks this before
+/// interpreting any program; malformed programs fail the
+/// program_well_formed obligation instead of crashing the walkers.
+bool program_well_formed(std::span<const Instr> program);
+
 /// Stable 64-bit digest of a canonical program plus the type extent
 /// (FNV-1a over the instruction stream). Equal shapes - same canonical
 /// program, same extent - produce equal digests regardless of how the

@@ -67,6 +67,7 @@ void Process::progress_blocking() {
   }
   if (progress()) return;
   const auto deadline =
+      // det-lint: allow(wall_clock) - deadlock watchdog, not simulated time
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(config().progress_timeout_ms);
   for (;;) {

@@ -219,6 +219,7 @@ class Machine {
   std::vector<std::unique_ptr<Device>> devices_;
   std::unique_ptr<AccessObserver> observer_;
   mutable std::mutex mu_;
+  // det-lint: allow(pointer_order) - address-interval lookup, never emitted
   std::map<std::byte*, HostBlock> host_blocks_;
 };
 

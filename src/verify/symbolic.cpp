@@ -1,0 +1,483 @@
+#include "verify/symbolic.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gpuddt::verify {
+
+std::int64_t ByteMap::size() const {
+  std::int64_t s = 0;
+  for (const Run& r : runs_) s += r.len;
+  return s;
+}
+
+std::int64_t ByteMap::min() const {
+  if (runs_.empty()) return 0;
+  std::int64_t m = runs_.front().off;
+  for (const Run& r : runs_) m = std::min(m, r.off);
+  return m;
+}
+
+std::int64_t ByteMap::max() const {
+  if (runs_.empty()) return 0;
+  std::int64_t m = runs_.front().off + runs_.front().len;
+  for (const Run& r : runs_) m = std::max(m, r.off + r.len);
+  return m;
+}
+
+namespace {
+
+std::vector<Run> sorted_runs(const std::vector<Run>& runs) {
+  std::vector<Run> s = runs;
+  std::sort(s.begin(), s.end(), [](const Run& a, const Run& b) {
+    return a.off < b.off || (a.off == b.off && a.len < b.len);
+  });
+  return s;
+}
+
+/// Do two *sorted* run lists share any byte, with the second list
+/// shifted by `shift`?
+bool sorted_overlap(const std::vector<Run>& a, const std::vector<Run>& b,
+                    std::int64_t shift) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t a_lo = a[i].off;
+    const std::int64_t a_hi = a[i].off + a[i].len;
+    const std::int64_t b_lo = b[j].off + shift;
+    const std::int64_t b_hi = b[j].off + b[j].len + shift;
+    if (a_lo < b_hi && b_lo < a_hi) return true;
+    if (a_hi <= b_lo) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ByteMap::self_disjoint() const {
+  const std::vector<Run> s = sorted_runs(runs_);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1].off + s[i - 1].len > s[i].off) return false;
+  }
+  return true;
+}
+
+bool ByteMap::shift_disjoint(std::int64_t extent) const {
+  if (runs_.empty()) return true;
+  if (extent <= 0) return false;  // every count >= 2 collides
+  const std::int64_t width = max() - min();
+  const std::vector<Run> s = sorted_runs(runs_);
+  // Elements i < j overlap iff elements 0 and j-i do (pure translation),
+  // so checking every delta with delta*extent < width covers all counts.
+  for (std::int64_t delta = 1; delta * extent < width; ++delta) {
+    if (sorted_overlap(s, s, delta * extent)) return false;
+  }
+  return true;
+}
+
+std::string ByteMap::describe(std::size_t max_runs) const {
+  std::ostringstream os;
+  os << runs_.size() << " runs:";
+  for (std::size_t i = 0; i < runs_.size() && i < max_runs; ++i) {
+    os << " [" << runs_[i].off << "," << runs_[i].off + runs_[i].len << ")";
+  }
+  if (runs_.size() > max_runs) os << " ...";
+  return os.str();
+}
+
+// --- Program interpreter ----------------------------------------------------
+
+namespace {
+
+constexpr int kMaxLoopDepth = 64;
+
+void walk_program(std::span<const mpi::Instr> prog, std::size_t i0,
+                  std::size_t i1, std::int64_t base, ByteMap& out,
+                  int depth) {
+  if (depth > kMaxLoopDepth) {
+    throw std::invalid_argument("verify: program nests deeper than 64");
+  }
+  std::size_t i = i0;
+  while (i < i1) {
+    const mpi::Instr& in = prog[i];
+    switch (in.op) {
+      case mpi::Instr::Op::kBlock:
+        if (in.len < 0) {
+          throw std::invalid_argument("verify: negative block length");
+        }
+        out.push(base + in.disp, in.len);
+        ++i;
+        break;
+      case mpi::Instr::Op::kLoop: {
+        const auto end = static_cast<std::size_t>(in.body_end);
+        if (end <= i || end >= i1 ||
+            prog[end].op != mpi::Instr::Op::kEndLoop) {
+          throw std::invalid_argument("verify: bad loop body_end link");
+        }
+        if (in.count < 0) {
+          throw std::invalid_argument("verify: negative loop count");
+        }
+        for (std::int64_t it = 0; it < in.count; ++it) {
+          walk_program(prog, i + 1, end,
+                       base + in.disp + it * in.step, out, depth + 1);
+        }
+        i = end + 1;
+        break;
+      }
+      case mpi::Instr::Op::kEndLoop:
+        throw std::invalid_argument("verify: stray end_loop");
+    }
+  }
+}
+
+}  // namespace
+
+ByteMap program_byte_map(std::span<const mpi::Instr> program) {
+  ByteMap out;
+  walk_program(program, 0, program.size(), 0, out, 0);
+  return out;
+}
+
+// --- Constructor-tree interpreter -------------------------------------------
+//
+// Re-derives the byte map of one element from the TypeContents recipe.
+// Every combiner's placement rule is restated here from its MPI
+// definition; nothing is shared with the program compiler this
+// interpreter is checking.
+
+namespace {
+
+void append_shifted(ByteMap& dst, const ByteMap& src, std::int64_t shift) {
+  for (const Run& r : src.runs()) dst.push(r.off + shift, r.len);
+}
+
+TreeLayout interp(const mpi::Datatype& dt, int depth);
+
+/// `count` copies of `child`, consecutive copies `stride` bytes apart,
+/// first copy at `base` - the shared core of the replicating combiners.
+void replicate(ByteMap& dst, const TreeLayout& child, std::int64_t base,
+               std::int64_t count, std::int64_t stride) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    append_shifted(dst, child.map, base + i * stride);
+  }
+}
+
+/// Layout whose lb/extent follow the touched bounds (the constructors
+/// that call finalize() with extent = -1).
+TreeLayout true_bounds(ByteMap map) {
+  TreeLayout out;
+  out.lb = map.min();
+  out.extent = map.max() - map.min();
+  out.map = std::move(map);
+  return out;
+}
+
+std::int64_t int_at(const mpi::TypeContents& tc, std::size_t i) {
+  if (i >= tc.integers.size()) {
+    throw std::invalid_argument("verify: truncated contents integers");
+  }
+  return tc.integers[i];
+}
+
+std::int64_t addr_at(const mpi::TypeContents& tc, std::size_t i) {
+  if (i >= tc.addresses.size()) {
+    throw std::invalid_argument("verify: truncated contents addresses");
+  }
+  return tc.addresses[i];
+}
+
+const mpi::Datatype& type_at(const mpi::TypeContents& tc, std::size_t i) {
+  if (i >= tc.types.size() || tc.types[i] == nullptr) {
+    throw std::invalid_argument("verify: missing contents child type");
+  }
+  return *tc.types[i];
+}
+
+TreeLayout interp_subarray(const mpi::TypeContents& tc, int depth) {
+  const auto ndims = static_cast<std::size_t>(int_at(tc, 0));
+  if (ndims == 0 || tc.integers.size() != 2 + 3 * ndims) {
+    throw std::invalid_argument("verify: bad subarray contents");
+  }
+  std::vector<std::int64_t> sizes(ndims);
+  std::vector<std::int64_t> subsizes(ndims);
+  std::vector<std::int64_t> starts(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    sizes[d] = int_at(tc, 1 + d);
+    subsizes[d] = int_at(tc, 1 + ndims + d);
+    starts[d] = int_at(tc, 1 + 2 * ndims + d);
+    if (subsizes[d] < 0 || starts[d] < 0 ||
+        starts[d] + subsizes[d] > sizes[d]) {
+      throw std::invalid_argument("verify: subarray block out of bounds");
+    }
+  }
+  const bool fortran = int_at(tc, 1 + 3 * ndims) != 0;
+  const TreeLayout child = interp(type_at(tc, 0), depth + 1);
+  // Row-major (C) or column-major (Fortran) element strides.
+  std::vector<std::int64_t> stride(ndims);
+  if (fortran) {
+    stride[0] = 1;
+    for (std::size_t d = 1; d < ndims; ++d)
+      stride[d] = stride[d - 1] * sizes[d - 1];
+  } else {
+    stride[ndims - 1] = 1;
+    for (std::size_t d = ndims - 1; d-- > 0;)
+      stride[d] = stride[d + 1] * sizes[d + 1];
+  }
+  // Dims from slowest- to fastest-varying, for the odometer below.
+  std::vector<std::size_t> slow_to_fast(ndims);
+  for (std::size_t k = 0; k < ndims; ++k) {
+    slow_to_fast[k] = fortran ? ndims - 1 - k : k;
+  }
+  TreeLayout out;
+  out.lb = 0;
+  out.extent = child.extent;
+  for (std::size_t d = 0; d < ndims; ++d) out.extent *= sizes[d];
+  std::int64_t n = 1;
+  for (std::size_t d = 0; d < ndims; ++d) n *= subsizes[d];
+  std::vector<std::int64_t> idx(ndims, 0);
+  for (std::int64_t e = 0; e < n; ++e) {
+    std::int64_t off = 0;
+    for (std::size_t d = 0; d < ndims; ++d) {
+      off += (starts[d] + idx[d]) * stride[d] * child.extent;
+    }
+    append_shifted(out.map, child.map, off);
+    // Advance the fastest-varying dim first.
+    for (std::size_t k = ndims; k-- > 0;) {
+      const std::size_t d = slow_to_fast[k];
+      if (++idx[d] < subsizes[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+/// Global indices of dim `d` owned by grid coordinate `coord`, in the
+/// order the element visits them (increasing - block ranges and cyclic
+/// blocks are both laid out low-to-high).
+std::vector<std::int64_t> darray_owned(std::int64_t gsize,
+                                       mpi::Datatype::Distrib distrib,
+                                       std::int64_t darg,
+                                       std::int64_t psize,
+                                       std::int64_t coord) {
+  using Distrib = mpi::Datatype::Distrib;
+  std::vector<std::int64_t> owned;
+  switch (distrib) {
+    case Distrib::kNone: {
+      if (psize != 1) {
+        throw std::invalid_argument("verify: darray kNone with psize != 1");
+      }
+      for (std::int64_t g = 0; g < gsize; ++g) owned.push_back(g);
+      return owned;
+    }
+    case Distrib::kBlock: {
+      std::int64_t b = darg;
+      if (b == mpi::Datatype::kDefaultDarg) b = (gsize + psize - 1) / psize;
+      if (b <= 0 || b * psize < gsize) {
+        throw std::invalid_argument("verify: darray block size too small");
+      }
+      const std::int64_t lo = b * coord;
+      const std::int64_t hi = std::min(gsize, lo + b);
+      for (std::int64_t g = lo; g < hi; ++g) owned.push_back(g);
+      return owned;
+    }
+    case Distrib::kCyclic: {
+      const std::int64_t b = darg == mpi::Datatype::kDefaultDarg ? 1 : darg;
+      if (b <= 0) {
+        throw std::invalid_argument("verify: darray bad cyclic block");
+      }
+      const std::int64_t nblocks = (gsize + b - 1) / b;
+      for (std::int64_t k = coord; k < nblocks; k += psize) {
+        const std::int64_t lo = k * b;
+        const std::int64_t hi = std::min(gsize, lo + b);
+        for (std::int64_t g = lo; g < hi; ++g) owned.push_back(g);
+      }
+      return owned;
+    }
+  }
+  throw std::invalid_argument("verify: unknown darray distribution");
+}
+
+TreeLayout interp_darray(const mpi::TypeContents& tc, int depth) {
+  const std::int64_t world = int_at(tc, 0);
+  const std::int64_t rank = int_at(tc, 1);
+  const auto ndims = static_cast<std::size_t>(int_at(tc, 2));
+  if (ndims == 0 || tc.integers.size() != 4 + 4 * ndims) {
+    throw std::invalid_argument("verify: bad darray contents");
+  }
+  std::vector<std::int64_t> gsizes(ndims);
+  std::vector<mpi::Datatype::Distrib> distribs(ndims);
+  std::vector<std::int64_t> dargs(ndims);
+  std::vector<std::int64_t> psizes(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    gsizes[d] = int_at(tc, 3 + d);
+    distribs[d] =
+        static_cast<mpi::Datatype::Distrib>(int_at(tc, 3 + ndims + d));
+    dargs[d] = int_at(tc, 3 + 2 * ndims + d);
+    psizes[d] = int_at(tc, 3 + 3 * ndims + d);
+    if (psizes[d] <= 0 || gsizes[d] < 0) {
+      throw std::invalid_argument("verify: bad darray sizes");
+    }
+  }
+  const bool fortran = int_at(tc, 3 + 4 * ndims) != 0;
+  std::int64_t grid = 1;
+  for (std::size_t d = 0; d < ndims; ++d) grid *= psizes[d];
+  if (grid != world || rank < 0 || rank >= world) {
+    throw std::invalid_argument("verify: darray grid/rank mismatch");
+  }
+  // Row-major rank -> grid coordinates, per MPI_Type_create_darray.
+  std::vector<std::int64_t> coord(ndims);
+  {
+    std::int64_t r = rank;
+    for (std::size_t d = ndims; d-- > 0;) {
+      coord[d] = r % psizes[d];
+      r /= psizes[d];
+    }
+  }
+  const TreeLayout child = interp(type_at(tc, 0), depth + 1);
+  std::vector<std::vector<std::int64_t>> owned(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    owned[d] = darray_owned(gsizes[d], distribs[d], dargs[d], psizes[d],
+                            coord[d]);
+  }
+  // Stride of a global index in dim d: the product of the
+  // faster-varying dims' global sizes (C: higher d is faster).
+  std::vector<std::int64_t> stride(ndims);
+  if (fortran) {
+    stride[0] = 1;
+    for (std::size_t d = 1; d < ndims; ++d)
+      stride[d] = stride[d - 1] * gsizes[d - 1];
+  } else {
+    stride[ndims - 1] = 1;
+    for (std::size_t d = ndims - 1; d-- > 0;)
+      stride[d] = stride[d + 1] * gsizes[d + 1];
+  }
+  std::vector<std::size_t> slow_to_fast(ndims);
+  for (std::size_t k = 0; k < ndims; ++k) {
+    slow_to_fast[k] = fortran ? ndims - 1 - k : k;
+  }
+  TreeLayout out;
+  out.lb = 0;
+  out.extent = child.extent;
+  for (std::size_t d = 0; d < ndims; ++d) out.extent *= gsizes[d];
+  bool any_empty = false;
+  for (std::size_t d = 0; d < ndims; ++d) any_empty |= owned[d].empty();
+  if (!any_empty) {
+    std::vector<std::size_t> idx(ndims, 0);
+    for (;;) {
+      std::int64_t off = 0;
+      for (std::size_t d = 0; d < ndims; ++d) {
+        off += owned[d][idx[d]] * stride[d] * child.extent;
+      }
+      append_shifted(out.map, child.map, off);
+      std::size_t k = ndims;
+      while (k-- > 0) {
+        const std::size_t d = slow_to_fast[k];
+        if (++idx[d] < owned[d].size()) break;
+        idx[d] = 0;
+        if (k == 0) return out;
+      }
+    }
+  }
+  return out;
+}
+
+TreeLayout interp(const mpi::Datatype& dt, int depth) {
+  if (depth > kMaxLoopDepth) {
+    throw std::invalid_argument("verify: contents tree deeper than 64");
+  }
+  const mpi::TypeContents& tc = dt.contents();
+  switch (tc.combiner) {
+    case mpi::Combiner::kNamed: {
+      const auto p = static_cast<mpi::Primitive>(int_at(tc, 0));
+      TreeLayout out;
+      out.map.push(0, mpi::primitive_size(p));
+      out.lb = 0;
+      out.extent = mpi::primitive_size(p);
+      return out;
+    }
+    case mpi::Combiner::kContiguous: {
+      const std::int64_t count = int_at(tc, 0);
+      const TreeLayout child = interp(type_at(tc, 0), depth + 1);
+      TreeLayout out;
+      replicate(out.map, child, 0, count, child.extent);
+      out.lb = 0;
+      out.extent = count == 0 ? 0 : count * child.extent;
+      return out;
+    }
+    case mpi::Combiner::kVector:
+    case mpi::Combiner::kHvector: {
+      const std::int64_t count = int_at(tc, 0);
+      const std::int64_t blocklen = int_at(tc, 1);
+      const TreeLayout child = interp(type_at(tc, 0), depth + 1);
+      const std::int64_t stride_bytes =
+          tc.combiner == mpi::Combiner::kVector
+              ? int_at(tc, 2) * child.extent
+              : addr_at(tc, 0);
+      ByteMap map;
+      for (std::int64_t i = 0; i < count; ++i) {
+        replicate(map, child, i * stride_bytes, blocklen, child.extent);
+      }
+      return true_bounds(std::move(map));
+    }
+    case mpi::Combiner::kIndexed:
+    case mpi::Combiner::kHindexed: {
+      const auto n = static_cast<std::size_t>(int_at(tc, 0));
+      const TreeLayout child = interp(type_at(tc, 0), depth + 1);
+      ByteMap map;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t len = int_at(tc, 1 + i);
+        const std::int64_t disp =
+            tc.combiner == mpi::Combiner::kIndexed
+                ? int_at(tc, 1 + n + i) * child.extent
+                : addr_at(tc, i);
+        replicate(map, child, disp, len, child.extent);
+      }
+      return true_bounds(std::move(map));
+    }
+    case mpi::Combiner::kIndexedBlock: {
+      const auto n = static_cast<std::size_t>(int_at(tc, 0));
+      const std::int64_t blocklen = int_at(tc, 1);
+      const TreeLayout child = interp(type_at(tc, 0), depth + 1);
+      ByteMap map;
+      for (std::size_t i = 0; i < n; ++i) {
+        replicate(map, child, int_at(tc, 2 + i) * child.extent, blocklen,
+                  child.extent);
+      }
+      return true_bounds(std::move(map));
+    }
+    case mpi::Combiner::kStruct: {
+      const auto n = static_cast<std::size_t>(int_at(tc, 0));
+      ByteMap map;
+      for (std::size_t i = 0; i < n; ++i) {
+        const TreeLayout child = interp(type_at(tc, i), depth + 1);
+        replicate(map, child, addr_at(tc, i), int_at(tc, 1 + i),
+                  child.extent);
+      }
+      return true_bounds(std::move(map));
+    }
+    case mpi::Combiner::kSubarray:
+      return interp_subarray(tc, depth);
+    case mpi::Combiner::kDarray:
+      return interp_darray(tc, depth);
+    case mpi::Combiner::kResized: {
+      TreeLayout out = interp(type_at(tc, 0), depth + 1);
+      out.lb = addr_at(tc, 0);
+      out.extent = addr_at(tc, 1);
+      return out;
+    }
+  }
+  throw std::invalid_argument("verify: unknown combiner");
+}
+
+}  // namespace
+
+TreeLayout element_byte_map(const mpi::Datatype& dt) {
+  return interp(dt, 0);
+}
+
+}  // namespace gpuddt::verify

@@ -1,0 +1,99 @@
+// Symbolic byte-maps - the verifier's interval/stride algebra.
+//
+// A ByteMap is the exact byte-visit sequence of one datatype element,
+// represented as maximal contiguous runs in visit order. Two traversals
+// visit the same bytes in the same order if and only if their merged
+// run lists are equal, so run-list equality is a *proof* of byte-visit
+// equivalence - not a sample of it (docs/verification.md).
+//
+// Three independent producers feed the prover:
+//   * program_byte_map()        - walks a compiled loop/block program;
+//   * element_byte_map()        - re-derives the layout from the
+//                                 constructor recipe (TypeContents),
+//                                 sharing no code with the program
+//                                 compiler in mpi/datatype.cpp;
+//   * the DEV unit expectation  - closed-form unit splitting in
+//                                 verifier.cpp.
+//
+// Multi-count properties are closed over a symbolic count n: element e's
+// bytes are element 0's shifted by e * extent, so cross-element overlap
+// for *all* n reduces to finitely many shift checks (delta = 1 ..
+// ceil(width / extent) - 1), each decided on the sorted run list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpi/datatype.h"
+
+namespace gpuddt::verify {
+
+/// One maximal contiguous run of visited bytes: [off, off + len).
+struct Run {
+  std::int64_t off = 0;
+  std::int64_t len = 0;
+  bool operator==(const Run&) const = default;
+};
+
+/// Byte-visit sequence of one element as maximal runs in visit order.
+/// `push` maintains the canonical (merged) form: a run that begins
+/// exactly where the previous one ended extends it instead.
+class ByteMap {
+ public:
+  void push(std::int64_t off, std::int64_t len) {
+    if (len <= 0) return;
+    if (!runs_.empty() && runs_.back().off + runs_.back().len == off) {
+      runs_.back().len += len;
+      return;
+    }
+    runs_.push_back({off, len});
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+  bool empty() const { return runs_.empty(); }
+
+  /// Total bytes visited.
+  std::int64_t size() const;
+  /// Lowest visited offset (0 when empty, matching Datatype::true_lb).
+  std::int64_t min() const;
+  /// One past the highest visited offset (0 when empty).
+  std::int64_t max() const;
+
+  /// True when no byte is visited twice within the element.
+  bool self_disjoint() const;
+
+  /// True when no byte is visited by two distinct elements for ANY
+  /// element count, with elements placed `extent` apart. Requires
+  /// extent > 0 for non-empty maps (otherwise every count >= 2
+  /// overlaps and the proof fails).
+  bool shift_disjoint(std::int64_t extent) const;
+
+  bool operator==(const ByteMap&) const = default;
+
+  std::string describe(std::size_t max_runs = 8) const;
+
+ private:
+  std::vector<Run> runs_;
+};
+
+/// Byte map of one element of a compiled loop/block program - an
+/// independent recursive interpreter of the Instr encoding (not
+/// BlockCursor). Throws std::invalid_argument on malformed programs.
+ByteMap program_byte_map(std::span<const mpi::Instr> program);
+
+/// Layout of one element re-derived from the constructor recipe.
+struct TreeLayout {
+  ByteMap map;
+  std::int64_t lb = 0;
+  std::int64_t extent = 0;
+};
+
+/// Interpret the TypeContents tree of `dt` - every combiner's semantics
+/// re-implemented from the MPI definitions, independent of the program
+/// compiler. Throws std::invalid_argument on a recipe it cannot
+/// interpret (which itself is a verification failure).
+TreeLayout element_byte_map(const mpi::Datatype& dt);
+
+}  // namespace gpuddt::verify

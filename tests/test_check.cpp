@@ -121,7 +121,9 @@ TEST(CheckHazard, RegisteredHostScratchExposesHiddenWaw) {
     sg::MemcpyAsync(ctx, scratch.data(), dev1, bytes, s1);
     sg::MemcpyAsync(ctx, scratch.data(), dev2, bytes, s2);
     EXPECT_GE(d.hazards(), 1);
-    const check::Diagnostic& diag = check::diagnostics().back();
+    // diagnostics() returns a snapshot by value; copy the entry so it
+    // outlives the temporary vector.
+    const check::Diagnostic diag = check::diagnostics().back();
     EXPECT_EQ(diag.type, "WAW");
     EXPECT_EQ(diag.a.ptr, reinterpret_cast<std::uintptr_t>(scratch.data()));
   }

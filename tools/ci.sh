@@ -2,8 +2,11 @@
 # CI driver: default build + tests, GPUDDT_CHECK=ON build + tests (the
 # whole suite must run hazard-clean with the access checker attached to
 # every machine), ASan/UBSan build + tests, a determinism sweep over all
-# benchmark binaries (docs/determinism.md), and clang-tidy lint where
-# available. Mirrors the CMakePresets.json configurations.
+# benchmark binaries (docs/determinism.md), the symbolic verifier over
+# its corpus and over every DEV the bench suite caches
+# (docs/verification.md), and the blocking lint stage (clang-tidy with
+# warnings-as-errors + the determinism lint). Mirrors the
+# CMakePresets.json configurations.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,7 +58,29 @@ run build/tools/trace_critpath --check-efficiency \
 #    workload's bench_baseline_gate_ddt_zoo) already ran as part of ctest.
 run build/tools/determinism_check build/bench/bench_*
 
-# 6. Lint (no-op with a notice when clang-tidy is not installed).
+# 6. Symbolic verification (docs/verification.md): the static prover
+#    certifies its datatype corpus + the pipeline model, every seeded
+#    mutation is rejected, and - with the cache-insert hook forced on -
+#    every DEV the seeded datatype-zoo capacity sweep caches is certified
+#    at insert time (an uncertified DEV aborts the run).
+run build/tools/dev_verify --json-out=build/ci_dev_verify.json
+for mode in dropped_unit shifted_disp overlap_pk reorder_edge; do
+  if build/tools/dev_verify --mutate "$mode" --seed 7 \
+      --json-out="build/ci_dev_verify_$mode.json"; then
+    echo "ci.sh: dev_verify --mutate $mode unexpectedly passed" >&2
+    exit 1
+  fi
+done
+run env GPUDDT_VERIFY=1 build/bench/bench_ddt_zoo \
+  --metrics-out=build/ci_zoo_verify.json
+
+# 7. Lint: blocking. clang-tidy findings are errors
+#    (--warnings-as-errors=*) and a missing clang-tidy fails the stage
+#    instead of degrading; the determinism lint runs in the same target.
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "ci.sh: clang-tidy is required for the blocking lint stage" >&2
+  exit 1
+fi
 run cmake --build build --target lint
 
 echo "== ci.sh: all configurations passed =="

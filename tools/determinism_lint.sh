@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Determinism lint over src/ (see tools/determinism_lint.py for the rule
+# catalogue). Part of the blocking lint stage: `cmake --build build
+# --target lint` and tools/ci.sh both run this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec python3 tools/determinism_lint.py src

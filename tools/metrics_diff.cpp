@@ -104,7 +104,7 @@ void check_schema(const Value& doc, const std::string& path) {
 /// (and the docs) in the same change.
 constexpr const char* kKnownFamilies[] = {
     "engine.", "dev_cache.", "check.", "pml.",
-    "gpu.",    "coll.",      "rma.",   "shmem.",
+    "gpu.",    "coll.",      "rma.",   "shmem.", "verify.",
 };
 
 bool known_family(const std::string& name) {
