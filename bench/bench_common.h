@@ -19,6 +19,7 @@
 #include "core/layouts.h"
 #include "harness/harness.h"
 #include "mpi/runtime.h"
+#include "mpi/stream_triggered.h"
 #include "obs/recorder.h"
 
 namespace gpuddt::bench {
@@ -89,8 +90,11 @@ inline void record(benchmark::State& state, vt::Time virtual_ns,
 /// the per-rank stage-utilization table (obs::stage_profile_table) to
 /// stdout after the run. `--check` turns the access checker on for every
 /// machine the run creates; `--check-out` also writes the
-/// gpuddt-check-v1 diagnostic report (docs/checking.md). Returns the
-/// usual benchmark exit status.
+/// gpuddt-check-v1 diagnostic report (docs/checking.md).
+/// `--stream-triggered` forces the stream-triggered fragment chains on
+/// for every runtime the run creates (mpi::set_stream_triggered_forced,
+/// docs/protocols.md), same precedence slot as the GPUDDT_CHECK-style
+/// forcing the other flags use. Returns the usual benchmark exit status.
 inline int bench_main(int argc, char** argv) {
   std::string metrics_out;
   std::string check_out;
@@ -113,6 +117,8 @@ inline int bench_main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
       obs::default_recorder().enable_tracing(true);
+    } else if (std::strcmp(argv[i], "--stream-triggered") == 0) {
+      mpi::set_stream_triggered_forced(true);
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check::set_forced(true);
     } else if (std::strncmp(argv[i], "--check-out=", 12) == 0) {

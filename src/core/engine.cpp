@@ -80,20 +80,79 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_some(
   return process_dev(op, contig, max_bytes, dep);
 }
 
+void GpuDatatypeEngine::stage_all(Op& op) {
+  if (op.batched_) return;
+  op.batched_ = true;
+  if (op.done() || op.pattern_ || op.cached_ != nullptr) return;
+  if (cfg_.residue_separate_stream) {
+    throw std::logic_error(
+        "stage_all: residue_separate_stream reorders units per window and "
+        "cannot be pre-enqueued as a stream-triggered chain");
+  }
+  // Convert the WHOLE remaining unit list now - the full host conversion
+  // cost lands here, at chain-enqueue time - and upload it as one device
+  // array. Chain kernels later index into it by unit position, so there is
+  // no per-window upload and no descriptor double-buffer WAR hazard.
+  for (;;) {
+    const std::size_t before = op.staged_.size();
+    convert_chunk(op, cfg_.convert_chunk_units);
+    if (op.staged_.size() == before) break;
+  }
+  if (op.staged_.empty()) return;
+  op.unit_pos_ = 0;
+  const auto bytes =
+      static_cast<std::int64_t>(op.staged_.size() * sizeof(CudaDevDist));
+  op.batch_dev_ = sg::Malloc(ctx_, static_cast<std::size_t>(bytes));
+  const vt::Time t0 = ctx_.clock.now();
+  const vt::Time done =
+      sg::MemcpyAsync(ctx_, op.batch_dev_, op.staged_.data(),
+                      static_cast<std::size_t>(bytes), upload_stream_);
+  sg::StreamWaitEvent(ctx_, kernel_stream_,
+                      sg::EventRecord(ctx_, upload_stream_));
+  obs::count(cfg_.recorder, "engine.desc_uploads");
+  obs::count(cfg_.recorder, "engine.desc_upload_bytes", bytes);
+  obs::trace(cfg_.recorder,
+             {"desc_upload", "engine", t0, done, ctx_.device, bytes,
+              cfg_.trace_pid, op.flow_});
+}
+
+GpuDatatypeEngine::Result GpuDatatypeEngine::process_triggered(
+    Op& op, void* contig, std::int64_t max_bytes, vt::Time dep,
+    std::uint64_t flow) {
+  op.flow_ = flow;
+  if (op.done() || max_bytes <= 0) return {0, kernel_stream_.tail()};
+  if (op.pattern_) return process_vector(op, contig, max_bytes, dep, &dep);
+  if (op.cached_ == nullptr && !op.batched_) {
+    throw std::logic_error(
+        "process_triggered: DEV op was not staged (call stage_all first)");
+  }
+  if (cfg_.residue_separate_stream) {
+    throw std::logic_error(
+        "process_triggered: residue_separate_stream needs per-window host "
+        "descriptor uploads and cannot run as a pre-enqueued chain");
+  }
+  return process_dev(op, contig, max_bytes, dep, &dep);
+}
+
 vt::Time GpuDatatypeEngine::launch(Op& op, std::span<const CudaDevDist> units,
                                    std::int64_t pk_base, void* contig,
                                    const CudaDevDist* dev_units,
-                                   sg::Stream& stream) {
+                                   sg::Stream& stream,
+                                   const vt::Time* triggered_at) {
   ++stats_.kernels_launched;
   obs::count(cfg_.recorder, "engine.kernels.dev");
-  const vt::Time queued = std::max(ctx_.clock.now(), stream.tail());
+  const vt::Time queued =
+      std::max(triggered_at != nullptr ? *triggered_at : ctx_.clock.now(),
+               stream.tail());
   vt::Time ready;
   if (op.dir_ == Dir::kPack) {
     ready = pack_dev_kernel(ctx_, stream, op.user_base_, units, pk_base,
-                            contig, dev_units, cfg_.kernel_blocks);
+                            contig, dev_units, cfg_.kernel_blocks,
+                            triggered_at);
   } else {
     ready = unpack_dev_kernel(ctx_, stream, op.user_base_, units, pk_base,
-                              contig, dev_units, cfg_.kernel_blocks);
+                              contig, dev_units, cfg_.kernel_blocks,
+                              triggered_at);
   }
   obs::trace(cfg_.recorder,
              {"dev_kernel", "engine", queued, ready, ctx_.device,
@@ -103,22 +162,25 @@ vt::Time GpuDatatypeEngine::launch(Op& op, std::span<const CudaDevDist> units,
 }
 
 GpuDatatypeEngine::Result GpuDatatypeEngine::process_vector(
-    Op& op, void* contig, std::int64_t max_bytes, vt::Time dep) {
+    Op& op, void* contig, std::int64_t max_bytes, vt::Time dep,
+    const vt::Time* trig) {
   const std::int64_t lo = op.pos_;
   const std::int64_t hi = std::min(op.total_, lo + max_bytes);
   sg::StreamWaitEvent(ctx_, kernel_stream_, sg::Event{dep});
   ++stats_.kernels_launched;
   obs::count(cfg_.recorder, "engine.kernels.vector");
-  const vt::Time queued = std::max(ctx_.clock.now(), kernel_stream_.tail());
+  const vt::Time queued =
+      std::max(trig != nullptr ? *trig : ctx_.clock.now(),
+               kernel_stream_.tail());
   vt::Time ready;
   if (op.dir_ == Dir::kPack) {
     ready = pack_vector_kernel(ctx_, kernel_stream_, op.user_base_,
                                *op.pattern_, lo, hi, contig,
-                               cfg_.kernel_blocks);
+                               cfg_.kernel_blocks, trig);
   } else {
     ready = unpack_vector_kernel(ctx_, kernel_stream_, op.user_base_,
                                  *op.pattern_, lo, hi, contig,
-                                 cfg_.kernel_blocks);
+                                 cfg_.kernel_blocks, trig);
   }
   op.pos_ = hi;
   (op.dir_ == Dir::kPack ? stats_.bytes_packed : stats_.bytes_unpacked) +=
@@ -199,20 +261,25 @@ const CudaDevDist* GpuDatatypeEngine::upload_descriptors(
 }
 
 GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
-    Op& op, void* contig, std::int64_t max_bytes, vt::Time dep) {
+    Op& op, void* contig, std::int64_t max_bytes, vt::Time dep,
+    const vt::Time* trig) {
   sg::StreamWaitEvent(ctx_, kernel_stream_, sg::Event{dep});
   const std::int64_t pk_base = op.pos_;
   const std::int64_t budget = std::min(max_bytes, op.total_ - op.pos_);
   std::int64_t bytes = 0;
   vt::Time ready = kernel_stream_.tail();
   const bool cached = op.cached_ != nullptr;
+  // A batch-staged op behaves like a cache hit: the full unit list sits in
+  // staged_ with a matching device array, so there is no refill and no
+  // per-window descriptor upload.
+  const bool batched = !cached && op.batch_dev_ != nullptr;
 
   while (bytes < budget) {
     // Current unit source window.
     const std::vector<CudaDevDist>* units =
         cached ? &op.cached_->units : &op.staged_;
     if (op.unit_pos_ == units->size()) {
-      if (cached) break;  // exhausted (should coincide with op.done())
+      if (cached || batched) break;  // exhausted (coincides with op.done())
       // Refill the staging window: one pipelined chunk, or everything
       // when conversion pipelining is disabled (Figure 7's plain mode).
       op.staged_.clear();
@@ -268,10 +335,12 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
     }
     if (!cfg_.residue_separate_stream) {
       const CudaDevDist* dev_units =
-          cached ? op.cached_dev_ + first : upload_descriptors(op, op.ws_);
-      const vt::Time r =
-          launch(op, op.ws_, pk_base, contig, dev_units, kernel_stream_);
-      if (!cached) {
+          cached     ? op.cached_dev_ + first
+          : batched  ? static_cast<const CudaDevDist*>(op.batch_dev_) + first
+                     : upload_descriptors(op, op.ws_);
+      const vt::Time r = launch(op, op.ws_, pk_base, contig, dev_units,
+                                kernel_stream_, trig);
+      if (!cached && !batched) {
         op.desc_last_use_[op.desc_slot_] =
             std::max(op.desc_last_use_[op.desc_slot_], r);
       }
@@ -340,6 +409,10 @@ GpuDatatypeEngine::Result GpuDatatypeEngine::process_dev(
 }
 
 void GpuDatatypeEngine::finish(Op& op) {
+  if (op.batch_dev_ != nullptr) {
+    sg::Free(ctx_, op.batch_dev_);
+    op.batch_dev_ = nullptr;
+  }
   for (int slot = 0; slot < 2; ++slot) {
     if (op.desc_dev_[slot] != nullptr) {
       sg::Free(ctx_, op.desc_dev_[slot]);

@@ -141,6 +141,12 @@ class GpuDatatypeEngine {
     int desc_slot_ = 0;                   // slot the latest upload used
     std::vector<CudaDevDist> ws_;       // per-launch trimmed window
     std::vector<CudaDevDist> split_;    // residue-stream split (full first)
+    // Batch-submission state (stage_all): the full unit list converted and
+    // uploaded up-front into one device array, so later process_triggered
+    // calls launch kernels without any host conversion or per-window
+    // descriptor upload.
+    void* batch_dev_ = nullptr;   // device array of ALL descriptors
+    bool batched_ = false;        // stage_all completed
     // Conversion/kernel overlap accounting (virtual time, per op).
     vt::Time conv_ns_ = 0;          // total host conversion time
     vt::Time conv_overlap_ns_ = 0;  // conversion time with a kernel in flight
@@ -167,6 +173,27 @@ class GpuDatatypeEngine {
   /// bytes).
   Result process_some(Op& op, void* contig, std::int64_t max_bytes,
                       vt::Time dep = 0);
+
+  /// Batch submission, stage 1 (stream-triggered chains): convert the
+  /// op's ENTIRE unit list now - charging the full host conversion cost at
+  /// this call, i.e. at chain-enqueue time - and upload it to one device
+  /// descriptor array on the upload stream. After this, the op can be
+  /// driven to completion by process_triggered() with zero host-clock
+  /// involvement. No-op for vector-fast-path and cache-hit ops (they have
+  /// no host conversion stage). Throws when the engine runs residues on a
+  /// separate stream: that ablation shape re-orders units per window and
+  /// is not expressible as a pre-enqueued chain (the verifier rejects the
+  /// combination for the same reason).
+  void stage_all(Op& op);
+
+  /// Batch submission, stage 2: process up to `max_bytes` packed bytes as
+  /// a *pre-enqueued* launch - the host clock is neither read nor
+  /// advanced; the kernel is ordered after max(stream tail, dep) purely
+  /// through stream/event dependencies, and `flow` is stamped on the op
+  /// before the window is cut so its trace spans join the fragment's flow
+  /// chain. Requires stage_all() first (or a vector/cached op).
+  Result process_triggered(Op& op, void* contig, std::int64_t max_bytes,
+                           vt::Time dep, std::uint64_t flow);
 
   /// Release per-op scratch; insert the converted units into the cache if
   /// the op completed a full conversion.
@@ -199,10 +226,13 @@ class GpuDatatypeEngine {
   sg::HostContext& ctx() { return ctx_; }
 
  private:
+  // `trig` non-null marks a pre-enqueued (stream-triggered) call: launches
+  // are ordered after max(stream tail, *trig) and the host clock is never
+  // read or advanced (see LaunchKernel's triggered_at).
   Result process_vector(Op& op, void* contig, std::int64_t max_bytes,
-                        vt::Time dep);
+                        vt::Time dep, const vt::Time* trig = nullptr);
   Result process_dev(Op& op, void* contig, std::int64_t max_bytes,
-                     vt::Time dep);
+                     vt::Time dep, const vt::Time* trig = nullptr);
   /// Convert up to `limit` more units into op.staged_, charging host time.
   void convert_chunk(Op& op, std::size_t limit);
   /// Upload descriptors to op's device scratch; returns the device pointer
@@ -211,7 +241,8 @@ class GpuDatatypeEngine {
                                         std::span<const CudaDevDist> units);
   vt::Time launch(Op& op, std::span<const CudaDevDist> units,
                   std::int64_t pk_base, void* contig,
-                  const CudaDevDist* dev_units, sg::Stream& stream);
+                  const CudaDevDist* dev_units, sg::Stream& stream,
+                  const vt::Time* triggered_at = nullptr);
 
   sg::HostContext& ctx_;
   EngineConfig cfg_;

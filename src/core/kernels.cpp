@@ -162,7 +162,8 @@ void for_vector_range(const mpi::RegularPattern& pat, std::int64_t pk_lo,
 vt::Time pack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                             const void* src_base,
                             const mpi::RegularPattern& pat, std::int64_t pk_lo,
-                            std::int64_t pk_hi, void* dst, int blocks) {
+                            std::int64_t pk_hi, void* dst, int blocks,
+                            const vt::Time* triggered_at) {
   Traffic t(ctx, stream, src_base, dst, blocks);
   for_vector_range(pat, pk_lo, pk_hi,
                    [&](std::int64_t s, std::int64_t d, std::int64_t len) {
@@ -187,13 +188,14 @@ vt::Time pack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                                        static_cast<std::size_t>(len));
                          });
       },
-      "pack_vector", rb.finish(nullptr, 0));
+      "pack_vector", rb.finish(nullptr, 0), triggered_at);
 }
 
 vt::Time unpack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                               void* dst_base, const mpi::RegularPattern& pat,
                               std::int64_t pk_lo, std::int64_t pk_hi,
-                              const void* src, int blocks) {
+                              const void* src, int blocks,
+                              const vt::Time* triggered_at) {
   Traffic t(ctx, stream, src, dst_base, blocks);
   for_vector_range(pat, pk_lo, pk_hi,
                    [&](std::int64_t d, std::int64_t s, std::int64_t len) {
@@ -218,14 +220,15 @@ vt::Time unpack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                                        static_cast<std::size_t>(len));
                          });
       },
-      "unpack_vector", rb.finish(nullptr, 0));
+      "unpack_vector", rb.finish(nullptr, 0), triggered_at);
 }
 
 vt::Time pack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                          const void* src_base,
                          std::span<const CudaDevDist> units,
                          std::int64_t pk_base, void* dst,
-                         const CudaDevDist* device_units, int blocks) {
+                         const CudaDevDist* device_units, int blocks,
+                         const vt::Time* triggered_at) {
   Traffic t(ctx, stream, src_base, dst, blocks);
   for (const auto& u : units) t.add(u.nc_disp, u.pk_disp - pk_base, u.length);
   t.add_descriptor_reads(static_cast<std::int64_t>(units.size()));
@@ -244,14 +247,15 @@ vt::Time pack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                       static_cast<std::size_t>(u.length));
         }
       },
-      "pack_dev", rb.finish(device_units, units.size()));
+      "pack_dev", rb.finish(device_units, units.size()), triggered_at);
 }
 
 vt::Time unpack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                            void* dst_base,
                            std::span<const CudaDevDist> units,
                            std::int64_t pk_base, const void* src,
-                           const CudaDevDist* device_units, int blocks) {
+                           const CudaDevDist* device_units, int blocks,
+                           const vt::Time* triggered_at) {
   Traffic t(ctx, stream, src, dst_base, blocks);
   for (const auto& u : units) t.add(u.pk_disp - pk_base, u.nc_disp, u.length);
   t.add_descriptor_reads(static_cast<std::int64_t>(units.size()));
@@ -270,7 +274,7 @@ vt::Time unpack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                       static_cast<std::size_t>(u.length));
         }
       },
-      "unpack_dev", rb.finish(device_units, units.size()));
+      "unpack_dev", rb.finish(device_units, units.size()), triggered_at);
 }
 
 }  // namespace gpuddt::core

@@ -1,6 +1,8 @@
 // GPU pack/unpack kernels - Sections 3.1 and 3.2.
 //
-// Two kernel families, mirroring the paper:
+// Two kernel families, mirroring the paper (each wrapper's trailing
+// `triggered_at` forwards to sg::LaunchKernel: non-null marks the launch
+// as pre-enqueued by a stream-triggered chain, so no host clock charge):
 //  * vector kernels - specialized for blocklength/stride layouts; driven
 //    directly by the pattern, no descriptor array needed (Section 3.1);
 //  * DEV kernels - generic, driven by an array of CudaDevDist work units
@@ -32,14 +34,16 @@ namespace gpuddt::core {
 vt::Time pack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                             const void* src_base,
                             const mpi::RegularPattern& pat, std::int64_t pk_lo,
-                            std::int64_t pk_hi, void* dst, int blocks);
+                            std::int64_t pk_hi, void* dst, int blocks,
+                            const vt::Time* triggered_at = nullptr);
 
 /// Inverse: scatter `src` (holding packed bytes [pk_lo, pk_hi)) back into
 /// the strided layout at `dst_base`.
 vt::Time unpack_vector_kernel(sg::HostContext& ctx, sg::Stream& stream,
                               void* dst_base, const mpi::RegularPattern& pat,
                               std::int64_t pk_lo, std::int64_t pk_hi,
-                              const void* src, int blocks);
+                              const void* src, int blocks,
+                              const vt::Time* triggered_at = nullptr);
 
 /// Pack the given work units: gather src_base + u.nc_disp into
 /// dst + (u.pk_disp - pk_base). `device_units` is the device-resident
@@ -49,13 +53,15 @@ vt::Time pack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                          const void* src_base,
                          std::span<const CudaDevDist> units,
                          std::int64_t pk_base, void* dst,
-                         const CudaDevDist* device_units, int blocks);
+                         const CudaDevDist* device_units, int blocks,
+                         const vt::Time* triggered_at = nullptr);
 
 /// Inverse: scatter src + (u.pk_disp - pk_base) into dst_base + u.nc_disp.
 vt::Time unpack_dev_kernel(sg::HostContext& ctx, sg::Stream& stream,
                            void* dst_base,
                            std::span<const CudaDevDist> units,
                            std::int64_t pk_base, const void* src,
-                           const CudaDevDist* device_units, int blocks);
+                           const CudaDevDist* device_units, int blocks,
+                           const vt::Time* triggered_at = nullptr);
 
 }  // namespace gpuddt::core

@@ -24,10 +24,11 @@ constexpr int kCollTagBase = 0x2fff0000;
 /// so early returns (leaf ranks) are covered.
 class CollSpan {
  public:
-  CollSpan(Comm& comm, const char* op)
+  CollSpan(Comm& comm, const char* op, std::uint64_t flow = 0)
       : comm_(comm),
         rec_(comm.process().config().recorder),
         op_(op),
+        flow_(flow),
         begin_(comm.process().clock().now()) {}
 
   void sent(std::int64_t bytes, bool contiguous, bool staged) {
@@ -52,7 +53,7 @@ class CollSpan {
     if (staged_ > 0) obs::count(rec_, "coll.bytes.staged", staged_);
     if (direct_ > 0) obs::count(rec_, "coll.bytes.direct", direct_);
     obs::trace(rec_, {op_, "coll", begin_, comm_.process().clock().now(),
-                      comm_.rank(), bytes_, comm_.rank()});
+                      comm_.rank(), bytes_, comm_.rank(), flow_});
   }
 
   CollSpan(const CollSpan&) = delete;
@@ -62,6 +63,7 @@ class CollSpan {
   Comm& comm_;
   obs::Recorder* rec_;
   const char* op_;
+  std::uint64_t flow_ = 0;
   std::int64_t begin_;
   std::int64_t bytes_ = 0;
   std::int64_t flops_ = 0;
@@ -152,7 +154,7 @@ void Collectives::bcast(void* buf, std::int64_t count, const DatatypePtr& dt,
   const int rank = comm_.rank();
   const int tag = next_tag();
   if (size == 1 || count == 0 || dt->size() == 0) return;
-  CollSpan span(comm_, "bcast");
+  CollSpan span(comm_, "bcast", coll_flow(comm_.context(), epoch_));
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   const int vrank = (rank - root + size) % size;
@@ -183,7 +185,7 @@ void Collectives::gather(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "gather");
+  CollSpan span(comm_, "gather", coll_flow(comm_.context(), epoch_));
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   if (rank != root) {
@@ -213,7 +215,7 @@ void Collectives::scatter(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "scatter");
+  CollSpan span(comm_, "scatter", coll_flow(comm_.context(), epoch_));
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   if (rank != root) {
@@ -240,7 +242,7 @@ void Collectives::allgather(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "allgather");
+  CollSpan span(comm_, "allgather", coll_flow(comm_.context(), epoch_));
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -274,7 +276,7 @@ void Collectives::alltoall(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "alltoall");
+  CollSpan span(comm_, "alltoall", coll_flow(comm_.context(), epoch_));
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   const auto* in = static_cast<const std::byte*>(sendbuf);
@@ -299,7 +301,7 @@ void Collectives::reduce(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "reduce");
+  CollSpan span(comm_, "reduce", coll_flow(comm_.context(), epoch_));
   const Primitive prim = reduce_primitive(dt);
   const std::int64_t bytes = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
@@ -346,8 +348,11 @@ void Collectives::allreduce(const void* sendbuf, void* recvbuf,
                             std::int64_t count, const DatatypePtr& dt,
                             ReduceOp op) {
   // Bytes are accounted by the two sub-operations; the allreduce span
-  // only marks the composite call's extent in the timeline.
-  CollSpan span(comm_, "allreduce");
+  // only marks the composite call's extent in the timeline. It draws its
+  // own epoch so its flow is distinct from the nested reduce and bcast
+  // chains (and from whatever collective ran before it).
+  next_tag();
+  CollSpan span(comm_, "allreduce", coll_flow(comm_.context(), epoch_));
   reduce(sendbuf, recvbuf, count, dt, op, 0);
   bcast(recvbuf, count, dt, 0);
 }

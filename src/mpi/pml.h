@@ -86,6 +86,14 @@ enum class TransferMode : std::uint8_t {
   /// Contiguous sender exposed its source; receiver pulls and unpacks on
   /// its own, sender only waits for the final fin (other shortcut).
   kRdmaRecvDriven = 3,
+  /// Stream-triggered chain (docs/protocols.md): after this one CTS, the
+  /// whole per-fragment pack -> RDMA GET -> unpack -> credit-return chain
+  /// is pre-enqueued as stream/event dependencies on both GPUs. No
+  /// FragReady/FragFree AMs, no per-fragment host wakeups; only the final
+  /// fin touches the host. Negotiated only when both sides opted in
+  /// (mpi::stream_triggered_enabled) and the kIpcRdma GET preconditions
+  /// hold.
+  kStreamTriggered = 4,
 };
 
 /// CTS: receiver -> sender.
@@ -125,6 +133,20 @@ inline std::uint64_t frag_flow(int src_rank, std::uint64_t send_id,
   return (static_cast<std::uint64_t>(src_rank + 1) << 40) |
          ((send_id & 0xFFFFFull) << 20) |
          (static_cast<std::uint64_t>(frag_idx) & 0xFFFFFull);
+}
+
+/// Cross-rank flow id of one collective invocation. Every member rank
+/// computes the same id from state it already holds - the communicator
+/// context and the per-instance collective epoch (identical across ranks
+/// because collectives must be called in the same order on a
+/// communicator) - so the member spans of one bcast/reduce/... chain into
+/// one Chrome flow with no extra wire bytes. Lives in frag_flow's
+/// reserved all-ones rank slot (rank field 0x1FFF), which no real rank
+/// can produce, so collective flows never collide with fragment flows.
+inline std::uint64_t coll_flow(int context, int epoch) {
+  return (std::uint64_t{0x1FFF} << 40) |
+         ((static_cast<std::uint64_t>(context) & 0xFFFFFull) << 20) |
+         (static_cast<std::uint64_t>(epoch) & 0xFFFFFull);
 }
 
 /// Completion notification for RDMA modes.
@@ -229,6 +251,18 @@ class GpuTransferPlugin {
   virtual void recv_eager(Process& p, RecvRequest& req,
                           std::span<const std::byte> data,
                           vt::Time arrival) = 0;
+
+  /// Receiver side: the sender's completion fin arrived for a recv this
+  /// plugin owns (req.plugin set). Runs on the receiver's thread just
+  /// before Pml::complete_recv - the stream-triggered chain finalizes its
+  /// engine op and frees staging here, since no per-fragment AM ever
+  /// wakes the receiver. Default: nothing (host-driven modes finished
+  /// their op before the fin was sent).
+  virtual void recv_fin(Process& p, RecvRequest& req, vt::Time arrival) {
+    (void)p;
+    (void)req;
+    (void)arrival;
+  }
 };
 
 // --- PML -----------------------------------------------------------------------------
@@ -277,6 +311,12 @@ class Pml {
 
   /// Charge the calling rank's clock for a CPU pack/unpack of `st`.
   void charge_cpu_pack(const PackStats& st);
+
+  /// Draw one id from this rank's per-request id space (the same counter
+  /// isend/irecv use). Collective and one-sided engine drivers use it as
+  /// the send_id component of mpi::frag_flow, so their trace flows can
+  /// never collide with a point-to-point request's flows on this rank.
+  std::uint64_t allocate_id() { return next_id_++; }
 
   /// Ship an already-packed eager payload (the GPU plugin's small-message
   /// path); the wire transfer starts no earlier than `earliest`. The

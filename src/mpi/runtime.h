@@ -86,6 +86,13 @@ struct RuntimeConfig {
   /// staging) or PUT (the sender pushes each fragment into the receiver's
   /// exposed staging ring).
   bool rdma_put_mode = false;
+  /// Stream-triggered fragment chains (docs/protocols.md): pre-enqueue
+  /// the whole pack -> RDMA GET -> unpack -> credit chain as stream/event
+  /// dependencies after one rendezvous, removing the per-fragment
+  /// FragReady/FragFree host round-trips. Tri-state: -1 follows the
+  /// process-wide default (mpi::stream_triggered_enabled: forced >
+  /// GPUDDT_STREAM_TRIGGERED env > build option), 0/1 force off/on.
+  int stream_triggered = -1;
   /// Work-unit size S of the GPU datatype engine (Section 3.2).
   std::int64_t dev_unit_bytes = 1024;
   bool dev_cache_enabled = true;

@@ -1,0 +1,41 @@
+#include "mpi/stream_triggered.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gpuddt::mpi {
+
+namespace {
+
+std::optional<bool>& forced() {
+  static std::optional<bool> f;
+  return f;
+}
+
+bool env_enabled(bool fallback) {
+  const char* v = std::getenv("GPUDDT_STREAM_TRIGGERED");
+  if (v == nullptr || *v == '\0') return fallback;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+}  // namespace
+
+bool stream_triggered_default() {
+#ifdef GPUDDT_STREAM_TRIGGERED_DEFAULT
+  constexpr bool build_default = true;
+#else
+  constexpr bool build_default = false;
+#endif
+  const bool env = env_enabled(build_default);
+  return forced().value_or(env);
+}
+
+bool stream_triggered_enabled(int runtime_knob) {
+  if (runtime_knob >= 0) return runtime_knob != 0;
+  return stream_triggered_default();
+}
+
+void set_stream_triggered_forced(std::optional<bool> f) { forced() = f; }
+
+}  // namespace gpuddt::mpi

@@ -1,0 +1,30 @@
+// Enablement of the stream-triggered fragment-chain protocol
+// (docs/protocols.md). Mirrors the GPUDDT_CHECK precedence table
+// (docs/checking.md):
+//
+//   RuntimeConfig::stream_triggered (per-runtime tri-state)
+//     > set_forced() (process-wide override; bench --stream-triggered)
+//       > GPUDDT_STREAM_TRIGGERED environment variable
+//         > GPUDDT_STREAM_TRIGGERED build option (compile-time default)
+//
+// Default off everywhere, so every existing baseline stays byte-identical
+// unless a run opts in.
+#pragma once
+
+#include <optional>
+
+namespace gpuddt::mpi {
+
+/// Resolved process-wide default: forced > env > build option.
+bool stream_triggered_default();
+
+/// Resolution for one runtime's tri-state knob: -1 follows the
+/// process-wide default, 0/1 force.
+bool stream_triggered_enabled(int runtime_knob);
+
+/// Process-wide override, strongest below the per-runtime knob (the bench
+/// harness's --stream-triggered flag). nullopt restores env/build
+/// resolution.
+void set_stream_triggered_forced(std::optional<bool> f);
+
+}  // namespace gpuddt::mpi

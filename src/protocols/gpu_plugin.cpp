@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "mpi/stream_triggered.h"
 #include "obs/recorder.h"
 #include "simgpu/staging.h"
 
@@ -374,10 +375,151 @@ void GpuDatatypePlugin::send_on_cts(mpi::Process& p, mpi::SendRequest& req,
       p.pml().complete_send(req);
       return;
     }
+    case TransferMode::kStreamTriggered: {
+      drive_stream_chain(p, req, cts);
+      return;
+    }
     case TransferMode::kRdmaRecvDriven:
       throw std::runtime_error(
           "gpu plugin: kRdmaRecvDriven must not produce a CTS");
   }
+}
+
+void GpuDatatypePlugin::drive_stream_chain(mpi::Process& p,
+                                           mpi::SendRequest& req,
+                                           const CtsHeader& cts) {
+  auto* st = static_cast<SendState*>(req.plugin.get());
+  if (st == nullptr || st->staging == nullptr)
+    throw std::runtime_error("gpu plugin: stream chain without staging");
+  core::GpuDatatypeEngine& eng = engine(p);
+  obs::Recorder* rec = p.config().recorder;
+
+  // The chain spans both ranks. The receiver pre-enqueued (and
+  // pre-charged) its triggered GETs and unpack launches at CTS time, so
+  // the whole per-fragment recurrence is resolved here in one forward
+  // pass over stream/event dependencies: pack[f] waits its slot's
+  // credit-return event, the GET waits the pack-ready event, the unpack
+  // waits the GET, and the GET's completion event is the credit that
+  // releases the sender slot for pack[f+depth]. No FragReady/FragFree
+  // AMs, no host wakeups per fragment on either rank. Driving the
+  // receiver's engine from this thread is safe under the cooperative
+  // scheduler (streams and machine resources are internally locked), and
+  // the triggered entry points never touch the receiver's host clock.
+  mpi::Process& rp = p.runtime().process(req.env.dst);
+  mpi::RecvRequest* rreq = rp.pml().find_recv(cts.recv_id);
+  if (rreq == nullptr)
+    throw std::runtime_error("gpu plugin: stream chain lost its recv");
+  auto* rst = static_cast<RecvState*>(rreq->plugin.get());
+  if (rst == nullptr || rst->mode != TransferMode::kStreamTriggered)
+    throw std::runtime_error("gpu plugin: stream chain mode mismatch");
+  core::GpuDatatypeEngine& reng = engine(rp);
+  mpi::Btl& btl = p.runtime().btl_between(p.rank(), req.env.dst);
+
+  st->op = eng.start(core::GpuDatatypeEngine::Dir::kPack, req.dt, req.count,
+                     const_cast<void*>(req.buf));
+  eng.stage_all(*st->op);  // full conversion charged now, at CTS time
+
+  const int sdev = p.gpu().device;
+  const int rdev = rp.gpu().device;
+  const bool staged = rst->local_staging != nullptr;
+  const int depth = std::max(1, st->depth);
+  const int rdepth = std::max(1, rst->depth);
+  const vt::Time chain_begin = p.clock().now();
+
+  // Per-slot credits, resolved forward. scredit[s]: earliest the sender
+  // may overwrite staging slot s (the consuming GET's - or, without local
+  // staging, the unpack's - completion event crossed back to the sender's
+  // timeline). rcredit[s]: earliest receiver ring slot s may be
+  // overwritten (its previous unpack, same-device so free).
+  std::vector<vt::Time> scredit(static_cast<std::size_t>(depth), 0);
+  std::vector<vt::Time> rcredit(static_cast<std::size_t>(rdepth), 0);
+  PerRank& rpr = per_rank(rp);
+  std::int64_t frag = 0;
+  vt::Time last_pack = 0;
+
+  while (!st->op->done()) {
+    const std::int64_t slot = frag % depth;
+    const std::int64_t rslot = frag % rdepth;
+    const std::uint64_t flow = mpi::frag_flow(p.rank(), req.id, frag);
+    st->op->set_flow(flow);
+    const auto res = eng.process_some(
+        *st->op, st->staging + slot * st->frag_bytes, st->frag_bytes,
+        scredit[static_cast<std::size_t>(slot)]);
+    if (res.bytes == 0) break;
+    last_pack = res.ready;
+    // Pack-ready event, observed across the PCI-E switch by the
+    // receiver's triggered queue.
+    const vt::Time pack_ready =
+        sg::EventReadyOn(p.gpu(), sg::Event{res.ready}, sdev, rdev);
+    std::byte* unpack_src;
+    vt::Time unpack_dep;
+    vt::Time staged_at;
+    if (staged) {
+      std::byte* local = rst->local_staging + rslot * st->frag_bytes;
+      const vt::Time t_start =
+          std::max(pack_ready, rcredit[static_cast<std::size_t>(rslot)]);
+      const vt::Time t_get = btl.rdma_get(
+          rp, p.rank(), local, rst->remote + slot * st->frag_bytes,
+          static_cast<std::size_t>(res.bytes), t_start);
+      obs::trace(rec, {"rdma_frag", "gpu", t_start, t_get, rp.rank(),
+                       res.bytes, rp.rank(), flow});
+      unpack_src = local;
+      unpack_dep = t_get;  // local DMA completion: same-device event
+      staged_at = t_get;
+      // The GET drained the sender slot; its completion event is the
+      // credit (crossed back to the sender's device).
+      scredit[static_cast<std::size_t>(slot)] =
+          sg::EventReadyOn(p.gpu(), sg::Event{t_get}, rdev, sdev);
+    } else {
+      // Unpack straight out of the sender's ring (same device, or the
+      // remote-read option): the slot stays busy until the unpack read
+      // its last byte.
+      unpack_src = rst->remote + slot * st->frag_bytes;
+      unpack_dep = pack_ready;
+      staged_at = pack_ready;
+    }
+    const auto rres = reng.process_triggered(*rst->op, unpack_src, res.bytes,
+                                            unpack_dep, flow);
+    if (rres.bytes != res.bytes)
+      throw std::runtime_error("gpu plugin: stream chain size mismatch");
+    rcredit[static_cast<std::size_t>(rslot)] = rres.ready;
+    if (!staged) {
+      scredit[static_cast<std::size_t>(slot)] =
+          sg::EventReadyOn(p.gpu(), sg::Event{rres.ready}, rdev, sdev);
+    }
+    rst->bytes_done += res.bytes;
+    rst->last_ready = rres.ready;
+    ++rpr.stats.fragments;
+    obs::count(rec, "pml.stream_triggered.frags");
+    obs::count(rec, "pml.stream_triggered.frag.bytes", res.bytes);
+    if (rpr.tracing)
+      rpr.trace.push_back(FragTrace{frag, pack_ready, staged_at, rres.ready});
+    ++frag;
+  }
+  if (!st->op->done() || rst->bytes_done != rreq->total_bytes)
+    throw std::runtime_error("gpu plugin: stream chain incomplete");
+
+  // One fin - the only AM after the rendezvous - sent as soon as the
+  // whole chain is posted. It carries no data the receiver waits for: the
+  // receiver blocks on its OWN last unpack event (it co-enqueued the
+  // chain), so its completion lands at last_ready with no trailing wire
+  // hop - the fin merely wakes its progress loop.
+  FinHeader fin;
+  fin.req_id = st->recv_id;
+  fin.to_sender = 0;
+  p.am_send(req.env.dst, mpi::Pml::fin_handler(), make_payload(fin));
+  // Sender completion: the one remaining host wait is the chain's last
+  // credit event - every pack done and the staging ring fully drained.
+  vt::Time drained = last_pack;
+  for (const vt::Time t : scredit) drained = std::max(drained, t);
+  eng.finish(*st->op);
+  p.clock().wait_until(drained);
+  sg::Free(p.gpu(), st->staging);
+  st->staging = nullptr;
+  obs::count(rec, "pml.stream_triggered.sends");
+  obs::trace(rec, {"stream_chain", "gpu", chain_begin, drained, p.rank(),
+                   req.total_bytes, p.rank(), 0});
+  p.pml().complete_send(req);
 }
 
 void GpuDatatypePlugin::pump_rdma_send(mpi::Process& p,
@@ -590,11 +732,60 @@ void GpuDatatypePlugin::recv_start(mpi::Process& p, mpi::RecvRequest& req,
   }
 
   // Full pipelined RDMA protocol.
-  st->mode = TransferMode::kIpcRdma;
   st->frag_bytes = rts.frag_bytes;
   st->depth = rts.depth;
   st->op = eng.start(core::GpuDatatypeEngine::Dir::kUnpack, req.dt,
                      req.count, req.buf);
+
+  if (mpi::stream_triggered_enabled(cfg.stream_triggered) &&
+      !cfg.rdma_put_mode) {
+    // Stream-triggered chain (docs/protocols.md): this CTS is the last
+    // per-message host work on this rank until the sender's fin. The
+    // whole conversion is staged and uploaded now, the ring is allocated
+    // now, and the host charge for posting every triggered GET and unpack
+    // launch of the chain lands here - the chain driver (sender side,
+    // drive_stream_chain) then resolves the per-fragment recurrence
+    // purely through stream/event dependencies.
+    st->mode = TransferMode::kStreamTriggered;
+    eng.stage_all(*st->op);
+    st->remote = static_cast<std::byte*>(open_handle(p, rts.handle));
+    if (cfg.recv_local_staging && rts.src_device != p.gpu().device) {
+      st->local_staging = static_cast<std::byte*>(
+          sg::Malloc(p.gpu(), static_cast<std::size_t>(st->frag_bytes) *
+                                  static_cast<std::size_t>(st->depth)));
+      st->slot_free.assign(static_cast<std::size_t>(st->depth), 0);
+    }
+    const std::int64_t nfrags =
+        (rts.total_bytes + st->frag_bytes - 1) / st->frag_bytes;
+    const bool local_staged = st->local_staging != nullptr;
+    CtsHeader cts;
+    cts.send_id = rts.send_id;
+    cts.recv_id = req.id;
+    cts.mode = TransferMode::kStreamTriggered;
+    cts.frag_bytes = st->frag_bytes;
+    cts.depth = st->depth;
+    req.plugin = std::move(st);
+    p.am_send(rts.env.src, mpi::Pml::cts_handler(), make_payload(cts));
+    req.cts_sent = p.clock().now();
+    // Posting charge for the chain: one triggered launch (and one GET
+    // post, when staging locally) per fragment. Charged after the CTS is
+    // on the wire - the posting overlaps the CTS flight and the sender's
+    // own staging, exactly the overlap the offloaded path exists for -
+    // but still at rendezvous time: the host never wakes per fragment.
+    const vt::Time enq = p.gpu().cost().enqueue_ns;
+    const vt::Time t0 = p.clock().now();
+    p.clock().advance(static_cast<vt::Time>(nfrags) * enq *
+                      (local_staged ? 2 : 1));
+    obs::count(cfg.recorder, "pml.stream_triggered.recvs");
+    obs::observe(cfg.recorder, "pml.stream_triggered.enqueue_ns",
+                 p.clock().now() - t0);
+    obs::trace(cfg.recorder, {"chain_enqueue", "gpu", t0, p.clock().now(),
+                              p.rank(), nfrags, p.rank(), 0});
+    obs::count(cfg.recorder, "gpu.mode.stream_triggered");
+    return;  // completion arrives as the sender's fin (recv_fin)
+  }
+
+  st->mode = TransferMode::kIpcRdma;
   CtsHeader cts;
   cts.send_id = rts.send_id;
   cts.recv_id = req.id;
@@ -841,8 +1032,14 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
   core::GpuDatatypeEngine& eng = engine(p);
   if (hdr.offset != st->bytes_done)
     throw std::runtime_error("gpu plugin: out-of-order fragment");
-  // Pml::on_frag computed this fragment's flow id before dispatching here.
-  st->op->set_flow(req.last_flow);
+  // Pml::on_frag computed this fragment's flow id before dispatching here
+  // - but only a rendezvous carries the sender's request id. A fragment
+  // stream without an RTS-carried send_id (peer_send_id 0) would
+  // fabricate a flow that collides across that peer's sends and draw
+  // wrong/dangling Perfetto arrows; stamp those spans flow-less instead.
+  const std::uint64_t frag_flow_id =
+      req.peer_send_id != 0 ? req.last_flow : 0;
+  st->op->set_flow(frag_flow_id);
 
   if (hdr.bytes > 0) {
     ScopedStagingRegistration staging(p.runtime().machine(), data.data(),
@@ -882,7 +1079,7 @@ void GpuDatatypePlugin::recv_on_frag(mpi::Process& p, mpi::RecvRequest& req,
                  st->last_ready - arrival);
     obs::trace(p.config().recorder,
                {"host_frag_unpack", "gpu", arrival, st->last_ready, p.rank(),
-                hdr.bytes, p.rank(), req.last_flow});
+                hdr.bytes, p.rank(), frag_flow_id});
   }
 
   if (hdr.last) {
@@ -907,6 +1104,10 @@ void GpuDatatypePlugin::recv_eager(mpi::Process& p, mpi::RecvRequest& req,
   core::GpuDatatypeEngine& eng = engine(p);
   auto op = eng.start(core::GpuDatatypeEngine::Dir::kUnpack, req.dt,
                       req.count, req.buf);
+  // Eager messages skip the rendezvous, so there is no RTS-carried
+  // send_id to derive a cross-rank frag_flow from; stamp the unpack
+  // spans flow-less explicitly rather than fabricating a colliding id.
+  op->set_flow(0);
   vt::Time last = arrival;
   if (!data.empty()) {
     ScopedStagingRegistration staging(p.runtime().machine(), data.data(),
@@ -925,6 +1126,28 @@ void GpuDatatypePlugin::recv_eager(mpi::Process& p, mpi::RecvRequest& req,
   pr.stats.bytes_received += req.total_bytes;
   p.clock().wait_until(last);
   p.pml().complete_recv(req);
+}
+
+void GpuDatatypePlugin::recv_fin(mpi::Process& p, mpi::RecvRequest& req,
+                                 vt::Time arrival) {
+  auto* st = static_cast<RecvState*>(req.plugin.get());
+  if (st == nullptr || st->mode != TransferMode::kStreamTriggered) return;
+  // First host wakeup this transfer caused on the receiving rank since
+  // the CTS: the chain driver already moved every byte and resolved
+  // every kernel's virtual time through the triggered entry points.
+  core::GpuDatatypeEngine& eng = engine(p);
+  eng.finish(*st->op);
+  if (st->local_staging != nullptr) {
+    sg::Free(p.gpu(), st->local_staging);
+    st->local_staging = nullptr;
+  }
+  PerRank& pr = per_rank(p);
+  ++pr.stats.stream_triggered;
+  pr.stats.bytes_received += st->bytes_done;
+  obs::trace(p.config().recorder,
+             {"stream_chain", "gpu", req.cts_sent, st->last_ready, p.rank(),
+              st->bytes_done, p.rank(), 0});
+  p.clock().wait_until(std::max(arrival, st->last_ready));
 }
 
 }  // namespace gpuddt::proto

@@ -46,6 +46,7 @@ struct TransferStats {
   std::int64_t rdma_pipelined = 0;     // kIpcRdma transfers completed
   std::int64_t rdma_recv_driven = 0;   // contiguous-sender shortcut
   std::int64_t rdma_pack_remote = 0;   // contiguous-receiver shortcut (CTS'd)
+  std::int64_t stream_triggered = 0;   // kStreamTriggered chains completed
   std::int64_t host_staged = 0;        // copy-in/out transfers completed
   std::int64_t eager_unpacks = 0;      // small host->device eager messages
   std::int64_t bytes_received = 0;     // packed payload bytes received
@@ -69,6 +70,8 @@ class GpuDatatypePlugin : public mpi::GpuTransferPlugin {
                     std::span<const std::byte> data, vt::Time arrival) override;
   void recv_eager(mpi::Process& p, mpi::RecvRequest& req,
                   std::span<const std::byte> data, vt::Time arrival) override;
+  void recv_fin(mpi::Process& p, mpi::RecvRequest& req,
+                vt::Time arrival) override;
 
   /// The per-rank GPU datatype engine (created lazily from that rank's
   /// thread; also used directly by benchmarks).
@@ -126,6 +129,12 @@ class GpuDatatypePlugin : public mpi::GpuTransferPlugin {
   /// Pack and publish fragments while the staging window has room
   /// (kIpcRdma sender side).
   void pump_rdma_send(mpi::Process& p, mpi::SendRequest& req);
+  /// kStreamTriggered sender side: enqueue the ENTIRE per-fragment
+  /// pack -> RDMA GET -> unpack -> credit chain at CTS time as
+  /// stream/event dependencies, resolved by one forward pass - no
+  /// FragReady/FragFree AMs, no per-fragment host wakeups on either rank.
+  void drive_stream_chain(mpi::Process& p, mpi::SendRequest& req,
+                          const mpi::CtsHeader& cts);
   /// Receiver-driven GET transfer from a contiguous exposed source
   /// (kRdmaRecvDriven).
   void drive_recv_from_contiguous(mpi::Process& p, mpi::RecvRequest& req,

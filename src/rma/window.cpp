@@ -104,8 +104,14 @@ vt::Time Window::pack_to(const void* buf, std::int64_t count,
   const std::int64_t total = dt->size() * count;
   if (p.runtime().machine().is_device_ptr(buf)) {
     auto op = engine_->start(Dir::kPack, dt, count, const_cast<void*>(buf));
+    // Fragment flow ids (docs/tracing.md): one-sided pack chains draw a
+    // request id from the PML's counter so their engine spans join the
+    // same flow grammar as point-to-point fragments.
+    const std::uint64_t id = p.pml().allocate_id();
+    std::int64_t frag = 0;
     vt::Time last = dep;
     while (!op->done()) {
+      op->set_flow(mpi::frag_flow(p.rank(), id, frag++));
       const auto r =
           engine_->process_some(*op, out + op->bytes_done(), total, dep);
       if (r.bytes == 0) break;
@@ -128,8 +134,11 @@ vt::Time Window::unpack_from(const std::byte* in, void* buf,
   const std::int64_t total = dt->size() * count;
   if (p.runtime().machine().is_device_ptr(buf)) {
     auto op = engine_->start(Dir::kUnpack, dt, count, buf);
+    const std::uint64_t id = p.pml().allocate_id();
+    std::int64_t frag = 0;
     vt::Time last = dep;
     while (!op->done()) {
+      op->set_flow(mpi::frag_flow(p.rank(), id, frag++));
       const auto r = engine_->process_some(
           *op, const_cast<std::byte*>(in) + op->bytes_done(), total, dep);
       if (r.bytes == 0) break;

@@ -153,8 +153,13 @@ void Pe::put_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
       static_cast<std::byte*>(sg::Malloc(proc_.gpu(), total));
   auto pack = engine_.start(Dir::kPack, dt, count,
                             const_cast<void*>(src));
+  // One flow id for the whole put: fragment k's pack and unpack spans
+  // chain together in the trace (docs/tracing.md flow grammar).
+  const std::uint64_t id = proc_.pml().allocate_id();
+  std::int64_t frag = 0;
   vt::Time ready = 0;
   while (!pack->done()) {
+    pack->set_flow(mpi::frag_flow(proc_.rank(), id, frag++));
     const auto r = engine_.process_some(
         *pack, staging + pack->bytes_done(), total - pack->bytes_done());
     if (r.bytes == 0) break;
@@ -163,7 +168,9 @@ void Pe::put_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   engine_.finish(*pack);
   std::byte* remote = translate(dest, pe);
   auto unpack = engine_.start(Dir::kUnpack, dt, count, remote);
+  frag = 0;
   while (!unpack->done()) {
+    unpack->set_flow(mpi::frag_flow(proc_.rank(), id, frag++));
     const auto r = engine_.process_some(
         *unpack, staging + unpack->bytes_done(),
         total - unpack->bytes_done(), ready);
@@ -188,8 +195,11 @@ void Pe::get_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   const std::byte* remote = translate(src, pe);
   auto pack = engine_.start(Dir::kPack, dt, count,
                             const_cast<std::byte*>(remote));
+  const std::uint64_t id = proc_.pml().allocate_id();
+  std::int64_t frag = 0;
   vt::Time ready = 0;
   while (!pack->done()) {
+    pack->set_flow(mpi::frag_flow(proc_.rank(), id, frag++));
     const auto r = engine_.process_some(
         *pack, staging + pack->bytes_done(), total - pack->bytes_done());
     if (r.bytes == 0) break;
@@ -197,7 +207,9 @@ void Pe::get_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   }
   engine_.finish(*pack);
   auto unpack = engine_.start(Dir::kUnpack, dt, count, dest);
+  frag = 0;
   while (!unpack->done()) {
+    unpack->set_flow(mpi::frag_flow(proc_.rank(), id, frag++));
     const auto r = engine_.process_some(
         *unpack, staging + unpack->bytes_done(),
         total - unpack->bytes_done(), ready);

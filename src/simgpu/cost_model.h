@@ -89,6 +89,19 @@ struct CostModel {
   vt::Time ipc_open_ns = vt::usec(90.0);
   vt::Time ipc_get_handle_ns = vt::usec(3.0);
 
+  // --- Stream-triggered chains -------------------------------------------------
+  /// Propagation latency of a stream-ordered wait whose event was recorded
+  /// on a *different* device's timeline (or by the NIC): the doorbell /
+  /// completion-flag write crosses the PCI-E switch before the waiting
+  /// queue can observe it. Same-device event waits remain free - they are
+  /// resolved inside one device's scheduler. This is the per-dependency
+  /// cost of the stream-triggered fragment chains (docs/protocols.md),
+  /// replacing the far larger per-fragment host AM round-trips. A single
+  /// posted doorbell write plus the waiting queue's poll observing it -
+  /// no host software dispatch - so it sits below sm_latency_ns (an AM
+  /// hop that does run a host handler).
+  vt::Time cross_event_wait_ns = vt::usec(0.5);
+
   // --- Host CPU ---------------------------------------------------------------
   /// Single-core host memcpy/pack bandwidth.
   double cpu_copy_gbps = 6.0;

@@ -351,6 +351,21 @@ void EventSynchronize(HostContext& ctx, const Event& ev) {
   ctx.clock.wait_until(ev.timestamp);
 }
 
+vt::Time EventReadyOn(const HostContext& ctx, const Event& ev,
+                      int origin_device, int target_device) {
+  if (ev.timestamp == 0) return 0;  // never-recorded event: no dependency
+  if (origin_device == target_device) return ev.timestamp;
+  return ev.timestamp + ctx.cost().cross_event_wait_ns;
+}
+
+vt::Time StreamWaitEventCross(HostContext& ctx, Stream& stream,
+                              const Event& ev, int origin_device) {
+  const vt::Time ready =
+      EventReadyOn(ctx, ev, origin_device, stream.device().id());
+  stream.set_tail(ready);
+  return ready;
+}
+
 namespace {
 double pcie_dir_gbps(const CostModel& cm, PcieDir dir) {
   switch (dir) {
@@ -384,12 +399,14 @@ vt::Time KernelDuration(const CostModel& cm, const KernelProfile& profile,
 vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
                       const KernelProfile& profile,
                       const std::function<void()>& body, const char* label,
-                      std::span<const MemRange> ranges) {
+                      std::span<const MemRange> ranges,
+                      const vt::Time* triggered_at) {
   body();
   const CostModel& cm = ctx.cost();
-  ctx.clock.advance(cm.enqueue_ns);
+  if (triggered_at == nullptr) ctx.clock.advance(cm.enqueue_ns);
   Device& dev = stream.device();
-  const vt::Time earliest = stream.order_after(ctx.clock.now());
+  const vt::Time earliest = stream.order_after(
+      triggered_at != nullptr ? *triggered_at : ctx.clock.now());
   const int width = std::max(1, std::min(profile.blocks, dev.sm().capacity()));
   const vt::Time dur = KernelDuration(cm, profile, dev.sm().capacity());
   const auto r = dev.sm().reserve(earliest, dur, width);

@@ -96,6 +96,22 @@ Event EventRecord(HostContext& ctx, Stream& stream);
 void StreamWaitEvent(HostContext& ctx, Stream& stream, const Event& ev);
 void EventSynchronize(HostContext& ctx, const Event& ev);
 
+/// Earliest time a consumer on `target_device` can act on `ev`, which was
+/// recorded on `origin_device`'s timeline (device id, or the NIC modeled
+/// as the far device). Crossing devices charges
+/// `CostModel::cross_event_wait_ns` for the doorbell/flag propagation over
+/// PCI-E; a same-device dependency is free. This is the cost model behind
+/// stream-triggered fragment chains: every pack-ready, unpack-trigger and
+/// credit-return dependency resolves through it instead of a host AM.
+vt::Time EventReadyOn(const HostContext& ctx, const Event& ev,
+                      int origin_device, int target_device);
+
+/// StreamWaitEvent with the cross-device propagation cost applied:
+/// `stream` will not run past the adjusted timestamp. Returns the
+/// adjusted ready time.
+vt::Time StreamWaitEventCross(HostContext& ctx, Stream& stream,
+                              const Event& ev, int origin_device);
+
 // --- Kernels ----------------------------------------------------------------------
 
 /// Where a kernel's non-local traffic flows.
@@ -127,11 +143,18 @@ struct KernelProfile {
 /// for zero-copy traffic). Returns the virtual finish time. `label` and
 /// `ranges` describe the kernel's memory footprint to the access checker
 /// (kernel wrappers populate them only when an observer is attached).
+/// `triggered_at`, when non-null, marks a *pre-enqueued* (stream-triggered)
+/// launch: the host already paid the enqueue cost when the chain was
+/// submitted, so the calling clock is neither read nor advanced - the
+/// launch is ordered after max(stream tail, *triggered_at) purely by
+/// stream/event dependencies. Null (the default) is the ordinary
+/// host-enqueued launch charging `enqueue_ns` at the current clock.
 vt::Time LaunchKernel(HostContext& ctx, Stream& stream,
                       const KernelProfile& profile,
                       const std::function<void()>& body,
                       const char* label = "kernel",
-                      std::span<const MemRange> ranges = {});
+                      std::span<const MemRange> ranges = {},
+                      const vt::Time* triggered_at = nullptr);
 
 /// Duration such a kernel occupies the SMs, excluding queueing (exposed
 /// for the cost-model unit tests).

@@ -98,7 +98,103 @@ EnginePipelineParams params_from_engine(
   return p;
 }
 
+namespace {
+
+/// The stream-triggered chain (drive_stream_chain, docs/protocols.md):
+/// conversion is a host FIFO feeding ONE batch descriptor upload
+/// (stage_all), then every per-fragment ordering is a stream/event
+/// dependency - pack-ready crossing to the triggered GET queue, GET
+/// completion releasing the unpack, the receiver staging ring recycled
+/// by unpack completion, and the sender send-ring slot recycled by the
+/// GET's completion event crossed back. No node is a host step after the
+/// rendezvous.
+PipelineDag build_stream_triggered_pipeline(const EnginePipelineParams& p) {
+  if (p.wire_fragments < 1 || p.send_ring_depth < 1 || p.staging_depth < 1 ||
+      p.windows < 1) {
+    throw std::invalid_argument("verify: bad stream-triggered parameters");
+  }
+  if (p.residue_separate_stream) {
+    throw std::invalid_argument(
+        "verify: stage_all refuses residue_separate_stream; so does the "
+        "model");
+  }
+  if (p.mutate == MutateDag::kDropWarEdge) {
+    throw std::invalid_argument(
+        "verify: kDropWarEdge targets the double-buffered descriptor "
+        "uploader; the stream-triggered chain uploads once");
+  }
+  PipelineDag dag;
+  const std::int64_t B = 1;
+  // Host side: conversion chunks in program order, then the one batch
+  // upload of the whole descriptor array.
+  std::vector<std::size_t> conv(static_cast<std::size_t>(p.windows));
+  for (int w = 0; w < p.windows; ++w) {
+    conv[static_cast<std::size_t>(w)] =
+        add_node(dag, "conv[" + std::to_string(w) + "]", "host", {});
+    if (w > 0) {
+      add_edge(dag, conv[static_cast<std::size_t>(w - 1)],
+               conv[static_cast<std::size_t>(w)], "host program order");
+    }
+  }
+  const std::size_t upload =
+      add_node(dag, "batch_upload", "engine.upload",
+               {{"desc_batch", 0, p.windows, true}});
+  add_edge(dag, conv[static_cast<std::size_t>(p.windows - 1)], upload,
+           "host issue order");
+  std::vector<std::size_t> kernel(static_cast<std::size_t>(p.wire_fragments));
+  std::vector<std::size_t> wire(static_cast<std::size_t>(p.wire_fragments));
+  std::vector<std::size_t> unpack(static_cast<std::size_t>(p.wire_fragments));
+  for (int f = 0; f < p.wire_fragments; ++f) {
+    const std::size_t fi = static_cast<std::size_t>(f);
+    const std::int64_t sslot = f % p.send_ring_depth;
+    const std::int64_t rslot = f % p.staging_depth;
+    const std::string idx = "[" + std::to_string(f) + "]";
+    kernel[fi] = add_node(dag, "kernel" + idx, "engine.kernel",
+                          {{"desc_batch", 0, p.windows, false},
+                           {"send_ring", sslot, sslot + 1, true}});
+    wire[fi] = add_node(dag, "wire" + idx, "wire",
+                        {{"send_ring", sslot, sslot + 1, false},
+                         {"staging", rslot, rslot + 1, true}});
+    unpack[fi] = add_node(dag, "unpack" + idx, "unpack",
+                          {{"staging", rslot, rslot + 1, false},
+                           {"user_dst", f * B, (f + 1) * B, true}});
+  }
+  for (int f = 0; f < p.wire_fragments; ++f) {
+    const std::size_t fi = static_cast<std::size_t>(f);
+    add_edge(dag, upload, kernel[fi], "upload->kernel event");
+    add_edge(dag, kernel[fi], wire[fi], "pack-ready event (cross-device)");
+    add_edge(dag, wire[fi], unpack[fi], "GET completion event");
+    if (f + 1 < p.wire_fragments) {
+      add_edge(dag, kernel[fi], kernel[fi + 1], "kernel stream FIFO");
+      add_edge(dag, wire[fi], wire[fi + 1], "triggered GET queue FIFO");
+      add_edge(dag, unpack[fi], unpack[fi + 1], "unpack stream FIFO");
+    }
+    if (f + p.staging_depth < p.wire_fragments) {
+      add_edge(dag, unpack[fi],
+               wire[fi + static_cast<std::size_t>(p.staging_depth)],
+               "staging credit return");
+    }
+    // The sender ring slot is writable again only once its consuming GET
+    // completed - the completion event crossed back to the sender's
+    // device. Dropping it is the seeded send-ring WAR race.
+    if (f + p.send_ring_depth < p.wire_fragments &&
+        p.mutate != MutateDag::kDropCreditEdge) {
+      add_edge(dag, wire[fi],
+               kernel[fi + static_cast<std::size_t>(p.send_ring_depth)],
+               "send-ring credit event (cross-device)");
+    }
+  }
+  return dag;
+}
+
+}  // namespace
+
 PipelineDag build_engine_pipeline(const EnginePipelineParams& p) {
+  if (p.stream_triggered) return build_stream_triggered_pipeline(p);
+  if (p.mutate == MutateDag::kDropCreditEdge) {
+    throw std::invalid_argument(
+        "verify: kDropCreditEdge targets the stream-triggered send ring");
+  }
   if (p.windows < 1 || p.desc_slots < 1 || p.staging_depth < 1 ||
       p.wire_fragments > p.windows) {
     throw std::invalid_argument("verify: bad pipeline parameters");

@@ -79,18 +79,30 @@ enum class MutateDag : std::uint8_t {
   kNone,
   /// Drop the kernel(w) -> upload(w+2) descriptor-slot WAR guard.
   kDropWarEdge,
+  /// Drop the wire(f) -> kernel(f + send_ring_depth) send-ring credit
+  /// event of the stream-triggered chain: pack kernels then overwrite
+  /// ring slots the in-flight GETs still read (WAR on send_ring).
+  kDropCreditEdge,
 };
 
 /// Parameters of the modeled engine pipeline. `windows` is the number of
 /// descriptor windows one op issues; `wire_fragments`/`staging_depth`
 /// extend the model past the kernel into the wire + unpack stages
-/// (0 fragments = sender-side model only).
+/// (0 fragments = sender-side model only). With `stream_triggered` the
+/// model switches to the offloaded chain the plugin enqueues at
+/// rendezvous (docs/protocols.md): stage_all's single batch descriptor
+/// upload feeds per-fragment pack kernels writing a bounded send ring of
+/// `send_ring_depth` slots, drained by triggered GETs into the receiver
+/// staging ring - every ordering a stream/event dependency, none a host
+/// round-trip.
 struct EnginePipelineParams {
   int windows = 4;
   int desc_slots = 2;
   bool residue_separate_stream = false;
   int wire_fragments = 0;
   int staging_depth = 2;
+  bool stream_triggered = false;
+  int send_ring_depth = 2;
   MutateDag mutate = MutateDag::kNone;
 };
 

@@ -244,7 +244,11 @@ Report verify_pipeline(const EnginePipelineParams& params) {
        << ", slots=" << params.desc_slots
        << ", residue_stream=" << (params.residue_separate_stream ? 1 : 0)
        << ", wire=" << params.wire_fragments
-       << ", staging=" << params.staging_depth << ")";
+       << ", staging=" << params.staging_depth;
+    if (params.stream_triggered) {
+      os << ", stream_triggered=1, send_ring=" << params.send_ring_depth;
+    }
+    os << ")";
     rep.subject = os.str();
   }
   const PipelineDag dag = build_engine_pipeline(params);

@@ -14,6 +14,7 @@
 #include "mpi/pml.h"
 #include "mpi/runtime.h"
 #include "harness/harness.h"
+#include "obs/recorder.h"
 #include "protocols/gpu_plugin.h"
 #include "test_helpers.h"
 
@@ -238,6 +239,25 @@ TEST(GpuMixed, SmallDeviceRecvViaEager) {
   // Host sender small enough for the eager path; device receiver.
   auto dt = mpi::Datatype::vector(16, 2, 4, mpi::kInt32());
   run_transfer(gpu_world(), dt, 1, false, dt, 1, true);
+}
+
+TEST(GpuMixed, EagerTraceCarriesNoFlowIds) {
+  // Eager messages skip the rendezvous, so there is no RTS-carried
+  // send_id to build a cross-rank frag_flow from. The receiver must
+  // stamp its unpack spans flow-less (flow 0) - the old code recycled
+  // req.last_flow, fabricating ids that collided across transfers.
+  obs::Recorder rec;
+  rec.enable_tracing();
+  RuntimeConfig cfg = gpu_world();
+  cfg.recorder = &rec;
+  auto dt = mpi::Datatype::vector(16, 2, 4, mpi::kInt32());
+  run_transfer(cfg, dt, 1, false, dt, 1, true);
+  const auto events = rec.trace().snapshot();
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.flow, 0u) << "eager-path event '" << ev.name
+                           << "' carries flow id " << ev.flow;
+  }
 }
 
 TEST(GpuMixed, DeviceSenderSmallMessage) {

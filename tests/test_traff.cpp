@@ -1,0 +1,140 @@
+// Traff self-consistency of the GPU datatype protocols: sending a
+// derived datatype directly must never be slower, in virtual time, than
+// the user doing the engine's job by hand - an explicit pack to a
+// contiguous device buffer, a contiguous send of the same bytes, and an
+// explicit unpack on the receiver. Holds for the host-driven pipelined
+// RDMA path AND the stream-triggered fragment chain (docs/protocols.md),
+// which is also required to be at least as fast as the host-driven path
+// on this multi-fragment shape (the ISSUE 8 overlap criterion).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "mpi/datatype.h"
+#include "mpi/pml.h"
+#include "mpi/runtime.h"
+#include "mpi/stream_triggered.h"
+#include "protocols/gpu_plugin.h"
+#include "test_helpers.h"
+
+namespace gpuddt::proto {
+namespace {
+
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::DatatypePtr;
+using mpi::Process;
+using mpi::Runtime;
+using mpi::RuntimeConfig;
+
+RuntimeConfig gpu_world() {
+  RuntimeConfig cfg;
+  cfg.world_size = 2;
+  cfg.machine.num_devices = 2;
+  cfg.machine.device_memory_bytes = 256 << 20;
+  cfg.progress_timeout_ms = 10000;
+  return cfg;
+}
+
+/// A multi-fragment non-contiguous shape: 2048 blocks of 128 doubles at
+/// stride 256 (2 MB payload, several pipeline fragments).
+DatatypePtr layout() {
+  return Datatype::vector(
+      2048, 128, 256, Datatype::primitive(mpi::Primitive::kDouble));
+}
+
+/// 0 -> 1 device-to-device DDT send; returns the receiver's completion
+/// time on the virtual clock. `stream_triggered` drives the
+/// RuntimeConfig tri-state knob.
+vt::Time ddt_transfer_time(int stream_triggered) {
+  RuntimeConfig cfg = gpu_world();
+  cfg.stream_triggered = stream_triggered;
+  const DatatypePtr dt = layout();
+  auto plugin = std::make_shared<GpuDatatypePlugin>();
+  vt::Time done = 0;
+  std::int64_t chains = 0;
+  Runtime rt(cfg);
+  rt.set_gpu_plugin(plugin);
+  rt.run([&](Process& p) {
+    Comm comm(p);
+    const std::int64_t span = test::span_bytes(dt, 1);
+    auto* buf = static_cast<std::byte*>(sg::Malloc(p.gpu(), span));
+    if (p.rank() == 0) {
+      test::fill_pattern(buf, static_cast<std::size_t>(span), 5);
+      comm.send(buf, 1, dt, 1, 7);
+    } else {
+      comm.recv(buf, 1, dt, 0, 7);
+      done = p.clock().now();
+      chains = plugin->stats(p).stream_triggered;
+    }
+    sg::Free(p.gpu(), buf);
+  });
+  // The mode under test must actually have engaged.
+  EXPECT_EQ(chains, stream_triggered != 0 ? 1 : 0);
+  return done;
+}
+
+/// The same bytes moved by hand: explicit engine pack into a contiguous
+/// device buffer, contiguous send, explicit unpack. This is the
+/// comparator Traff's self-consistency requirement measures against.
+vt::Time packed_transfer_time() {
+  RuntimeConfig cfg = gpu_world();
+  cfg.stream_triggered = 0;
+  const DatatypePtr dt = layout();
+  const std::int64_t bytes = dt->size();
+  auto plugin = std::make_shared<GpuDatatypePlugin>();
+  vt::Time done = 0;
+  Runtime rt(cfg);
+  rt.set_gpu_plugin(plugin);
+  rt.run([&](Process& p) {
+    Comm comm(p);
+    const std::int64_t span = test::span_bytes(dt, 1);
+    auto* buf = static_cast<std::byte*>(sg::Malloc(p.gpu(), span));
+    auto* staging = static_cast<std::byte*>(sg::Malloc(p.gpu(), bytes));
+    const DatatypePtr contig = Datatype::contiguous(bytes, mpi::kByte());
+    if (p.rank() == 0) {
+      test::fill_pattern(buf, static_cast<std::size_t>(span), 5);
+      std::int64_t pos = 0;
+      plugin->pack(p, buf, 1, dt,
+                   std::span<std::byte>(staging,
+                                        static_cast<std::size_t>(bytes)),
+                   &pos);
+      comm.send(staging, 1, contig, 1, 7);
+    } else {
+      comm.recv(staging, 1, contig, 0, 7);
+      std::int64_t pos = 0;
+      plugin->unpack(p,
+                     std::span<const std::byte>(
+                         staging, static_cast<std::size_t>(bytes)),
+                     &pos, buf, 1, dt);
+      done = p.clock().now();
+    }
+    sg::Free(p.gpu(), staging);
+    sg::Free(p.gpu(), buf);
+  });
+  return done;
+}
+
+TEST(TraffSelfConsistency, DdtSendNeverSlowerThanExplicitPack) {
+  const vt::Time packed = packed_transfer_time();
+  const vt::Time host_driven = ddt_transfer_time(0);
+  const vt::Time stream = ddt_transfer_time(1);
+  ASSERT_GT(packed, 0);
+  ASSERT_GT(host_driven, 0);
+  ASSERT_GT(stream, 0);
+  // Traff: the library must beat (or match) the user-level pack + send
+  // + unpack of the same bytes - in both transfer modes.
+  EXPECT_LE(host_driven, packed)
+      << "host-driven DDT send slower than explicit pack + contiguous send";
+  EXPECT_LE(stream, packed)
+      << "stream-triggered DDT send slower than explicit pack + "
+         "contiguous send";
+  // ISSUE 8 overlap criterion: offloading the chain must not cost
+  // overlap relative to the host-driven pipeline on this shape.
+  EXPECT_LE(stream, host_driven)
+      << "stream-triggered chain slower than the host-driven pipeline";
+}
+
+}  // namespace
+}  // namespace gpuddt::proto

@@ -205,6 +205,52 @@ TEST(VerifyPipeline, AllEngineShapesProveHazardFree) {
   expect_certified(verify_pipeline(params_from_engine(shape, 6, 6)));
 }
 
+TEST(VerifyPipeline, StreamTriggeredChainProvesHazardFree) {
+  // Both ring depths exercised well past reuse, at several depth
+  // combinations including asymmetric ones.
+  for (const int send_ring : {1, 2, 3}) {
+    for (const int staging : {1, 2, 4}) {
+      EnginePipelineParams p;
+      p.windows = 8;
+      p.wire_fragments = 8;
+      p.stream_triggered = true;
+      p.send_ring_depth = send_ring;
+      p.staging_depth = staging;
+      expect_certified(verify_pipeline(p));
+    }
+  }
+}
+
+TEST(VerifyMutation, DroppedStreamCreditEdgeFailsHazardFree) {
+  EnginePipelineParams p;
+  p.windows = 8;
+  p.wire_fragments = 8;
+  p.stream_triggered = true;
+  EXPECT_TRUE(verify_pipeline(p).certified());
+  // Without the wire(f) -> kernel(f + send_ring_depth) credit event the
+  // pack kernel overwrites a send-ring slot an in-flight GET still
+  // reads: a WAR the prover must refuse to order.
+  p.mutate = MutateDag::kDropCreditEdge;
+  const Report rep = verify_pipeline(p);
+  EXPECT_FALSE(rep.certified());
+  EXPECT_EQ(failed_names(rep), std::vector<std::string>{kPipelineHazardFree});
+}
+
+TEST(VerifyPipeline, StreamTriggeredRejectsUnmodeledShapes) {
+  EnginePipelineParams p;
+  p.windows = 8;
+  p.wire_fragments = 8;
+  p.stream_triggered = true;
+  p.residue_separate_stream = true;  // stage_all refuses it; so does the model
+  EXPECT_THROW(build_engine_pipeline(p), std::invalid_argument);
+  p.residue_separate_stream = false;
+  p.mutate = MutateDag::kDropWarEdge;  // targets the double-buffered uploader
+  EXPECT_THROW(build_engine_pipeline(p), std::invalid_argument);
+  EnginePipelineParams host;
+  host.mutate = MutateDag::kDropCreditEdge;  // targets the stream chain
+  EXPECT_THROW(build_engine_pipeline(host), std::invalid_argument);
+}
+
 // --- The cache-insert hook --------------------------------------------------------
 
 class ForcedVerify {

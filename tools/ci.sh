@@ -50,6 +50,21 @@ run build/tools/metrics_diff --validate-chrome build/ci_chrome_trace.json
 run build/tools/trace_critpath --check-efficiency \
   --json-out=build/ci_critpath.json build/ci_chrome_trace.json
 
+# 4c. Stream-triggered fragment chains (docs/protocols.md): the same
+#     benchmark with the chains offloaded to the GPU streams must
+#     produce a valid trace whose critical path has no per-fragment
+#     host wait - only the one-time rendezvous - and overlap efficiency
+#     still in (0, 1]. The deterministic virtual-time gate for this mode
+#     is bench_baseline_gate_fig9_stream in ctest.
+run build/bench/bench_fig9_pcie_pingpong --stream-triggered \
+  "--benchmark_filter=BM_Fig9_V/1024/" --trace-format=chrome \
+  --trace-out=build/ci_chrome_trace_stream.json
+run build/tools/metrics_diff --validate-chrome \
+  build/ci_chrome_trace_stream.json
+run build/tools/trace_critpath --check-efficiency \
+  --json-out=build/ci_critpath_stream.json \
+  build/ci_chrome_trace_stream.json
+
 # 5. Determinism sweep: every benchmark binary must double-run to
 #    byte-identical canonical metrics (the in-suite bench_determinism
 #    ctest entries cover bench_fig10_pingpong and the seeded datatype-zoo
@@ -64,7 +79,8 @@ run build/tools/determinism_check build/bench/bench_*
 #    every DEV the seeded datatype-zoo capacity sweep caches is certified
 #    at insert time (an uncertified DEV aborts the run).
 run build/tools/dev_verify --json-out=build/ci_dev_verify.json
-for mode in dropped_unit shifted_disp overlap_pk reorder_edge; do
+for mode in dropped_unit shifted_disp overlap_pk reorder_edge \
+    dropped_credit; do
   if build/tools/dev_verify --mutate "$mode" --seed 7 \
       --json-out="build/ci_dev_verify_$mode.json"; then
     echo "ci.sh: dev_verify --mutate $mode unexpectedly passed" >&2

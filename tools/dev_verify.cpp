@@ -13,10 +13,13 @@
 // pipeline DAG) the way a real compiler/engine bug would, and must make
 // the run fail with the matching obligation named:
 //
-//   dropped_unit  -> dev_unit_count     (a unit silently lost)
-//   shifted_disp  -> dev_nc_exact       (source displacement off by one)
-//   overlap_pk    -> dev_pk_exact       (two units pack to the same bytes)
-//   reorder_edge  -> pipeline_hazard_free (desc-slot WAR guard dropped)
+//   dropped_unit   -> dev_unit_count     (a unit silently lost)
+//   shifted_disp   -> dev_nc_exact       (source displacement off by one)
+//   overlap_pk     -> dev_pk_exact       (two units pack to the same bytes)
+//   reorder_edge   -> pipeline_hazard_free (desc-slot WAR guard dropped)
+//   dropped_credit -> pipeline_hazard_free (stream-triggered send-ring
+//                     credit event dropped: packs overwrite in-flight
+//                     GET sources)
 //
 // Usage:
 //   dev_verify [--json-out FILE] [--mutate MODE] [--seed N]
@@ -166,7 +169,7 @@ std::vector<Case> corpus(std::uint64_t seed) {
 }
 
 enum class Mutate { kNone, kDroppedUnit, kShiftedDisp, kOverlapPk,
-                    kReorderEdge };
+                    kReorderEdge, kDroppedCredit };
 
 /// Corrupt one unit list the way a conversion bug would.
 void mutate_units(Mutate m, std::mt19937& rng,
@@ -237,7 +240,7 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: dev_verify [--json-out FILE] "
                    "[--mutate none|dropped_unit|shifted_disp|overlap_pk|"
-                   "reorder_edge] [--seed N]\n";
+                   "reorder_edge|dropped_credit] [--seed N]\n";
       return 2;
     }
   }
@@ -246,6 +249,7 @@ int main(int argc, char** argv) {
   else if (mutate_name == "shifted_disp") mutate = Mutate::kShiftedDisp;
   else if (mutate_name == "overlap_pk") mutate = Mutate::kOverlapPk;
   else if (mutate_name == "reorder_edge") mutate = Mutate::kReorderEdge;
+  else if (mutate_name == "dropped_credit") mutate = Mutate::kDroppedCredit;
   else if (mutate_name != "none") {
     std::cerr << "dev_verify: unknown --mutate mode '" << mutate_name << "'\n";
     return 2;
@@ -267,7 +271,8 @@ int main(int argc, char** argv) {
       for (const std::int64_t s : unit_sizes) {
         auto units = gpuddt::core::convert_all(c.dt, count, s);
         if (!mutated_once && mutate != Mutate::kNone &&
-            mutate != Mutate::kReorderEdge && units.size() >= 2) {
+            mutate != Mutate::kReorderEdge &&
+            mutate != Mutate::kDroppedCredit && units.size() >= 2) {
           mutate_units(mutate, rng, units);
           mutated_once = true;
         }
@@ -297,6 +302,26 @@ int main(int argc, char** argv) {
         wp.mutate = gpuddt::verify::MutateDag::kDropWarEdge;
       }
       reports.push_back(gpuddt::verify::verify_pipeline(wp));
+    }
+  }
+  // Stream-triggered chain shapes (docs/protocols.md): the offloaded
+  // pack -> GET -> unpack DAG with both ring depths exercised past reuse,
+  // plus an asymmetric-depth shape. The dropped_credit mutation removes
+  // the send-ring credit event and must be refuted here.
+  {
+    struct StShape { int frags; int send_ring; int staging; };
+    const StShape shapes[] = {{8, 2, 2}, {8, 3, 2}, {6, 2, 4}};
+    for (const StShape& sh : shapes) {
+      gpuddt::verify::EnginePipelineParams sp;
+      sp.windows = sh.frags;
+      sp.wire_fragments = sh.frags;
+      sp.stream_triggered = true;
+      sp.send_ring_depth = sh.send_ring;
+      sp.staging_depth = sh.staging;
+      if (mutate == Mutate::kDroppedCredit) {
+        sp.mutate = gpuddt::verify::MutateDag::kDropCreditEdge;
+      }
+      reports.push_back(gpuddt::verify::verify_pipeline(sp));
     }
   }
 

@@ -16,19 +16,24 @@ BUILD=${BUILD:-build}
 OUT=bench/baselines
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
-# name|binary|benchmark_filter  (name becomes $OUT/<name>.json)
+# name|binary|benchmark_filter|extra_args  (name becomes $OUT/<name>.json;
+# extra_args, when present, are passed through to the bench binary - the
+# stream-triggered variants reuse the host-driven binaries with the
+# --stream-triggered flag from bench_common.h rather than registering
+# duplicate benchmarks, so the host-driven dumps stay untouched).
 BASELINES=(
-  "fig10_sm_1gpu_t_256|bench_fig10_pingpong|BM_Fig10_SM_1GPU_T/256/"
-  "fig9_pcie_pingpong|bench_fig9_pcie_pingpong|"
-  "coll_datatype|bench_coll_datatype|"
-  "onesided|bench_onesided|"
-  "ablation_pipeline|bench_ablation_pipeline|"
-  "ddt_zoo|bench_ddt_zoo|"
+  "fig10_sm_1gpu_t_256|bench_fig10_pingpong|BM_Fig10_SM_1GPU_T/256/|"
+  "fig9_pcie_pingpong|bench_fig9_pcie_pingpong||"
+  "coll_datatype|bench_coll_datatype||"
+  "onesided|bench_onesided||"
+  "ablation_pipeline|bench_ablation_pipeline||"
+  "ddt_zoo|bench_ddt_zoo||"
+  "fig9_stream_triggered|bench_fig9_pcie_pingpong||--stream-triggered"
 )
 
 binaries=(metrics_diff)
 for spec in "${BASELINES[@]}"; do
-  IFS='|' read -r _ bin _ <<<"$spec"
+  IFS='|' read -r _ bin _ _ <<<"$spec"
   binaries+=("$bin")
 done
 cmake --build "$BUILD" -j "$JOBS" --target "${binaries[@]}"
@@ -37,10 +42,11 @@ mkdir -p "$OUT"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 for spec in "${BASELINES[@]}"; do
-  IFS='|' read -r name bin filter <<<"$spec"
+  IFS='|' read -r name bin filter extra <<<"$spec"
   args=(--metrics-out="$tmp")
   [ -n "$filter" ] && args+=("--benchmark_filter=$filter")
-  echo "== $name: $bin ${filter:+(filter $filter)}"
+  [ -n "$extra" ] && args+=($extra)
+  echo "== $name: $bin ${filter:+(filter $filter)}${extra:+ ($extra)}"
   "$BUILD/bench/$bin" "${args[@]}" > /dev/null
   "$BUILD/tools/metrics_diff" --canon "$tmp" > "$OUT/$name.json"
 done
