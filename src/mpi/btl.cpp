@@ -76,6 +76,49 @@ vt::TimedResource& IbBtl::link(int node_a, int node_b, bool large) {
   return *slot;
 }
 
+int IbBtl::leaf_of(int node) const {
+  const int per_leaf = rt_.machine().config().topo.fat_tree_leaf_nodes;
+  return per_leaf > 0 ? node / per_leaf : -1;
+}
+
+vt::TimedResource& IbBtl::leaf_uplink(int leaf, int direction, bool large) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int up = 0;
+  const int uplinks =
+      std::max(1, rt_.machine().config().topo.fat_tree_uplinks);
+  if (large && uplinks > 1) {
+    int& next = next_uplink_[std::make_pair(leaf, direction)];
+    up = next;
+    next = (next + 1) % uplinks;
+  }
+  auto& slot = leaf_links_[std::make_tuple(leaf, direction, up)];
+  if (!slot) slot = std::make_unique<vt::TimedResource>();
+  return *slot;
+}
+
+vt::Time IbBtl::charge_fat_tree(Process& p, int src_node, int dst_node,
+                                std::int64_t bytes, bool large,
+                                vt::Reservation wire) {
+  const int src_leaf = leaf_of(src_node);
+  const int dst_leaf = leaf_of(dst_node);
+  if (src_leaf < 0 || src_leaf == dst_leaf) return wire.finish;
+  // Cross-leaf: the packets detour leaf -> spine -> leaf over both
+  // leaves' shared uplinks, which concurrent flows from sibling nodes
+  // contend for even when their node-pair links are idle. The message
+  // streams wormhole-style: each hop starts fat_tree_hop_ns (header
+  // latency) after the previous one and then pays the uplink's
+  // serialization time, so an uncontended detour costs exactly two hop
+  // latencies over the flat fabric and a congested uplink stalls the
+  // whole tail.
+  const sg::TopologyConfig& topo = p.runtime().machine().config().topo;
+  const vt::Time xfer = vt::transfer_time(bytes, topo.fat_tree_uplink_gbps);
+  const auto up = leaf_uplink(src_leaf, 0, large)
+                      .reserve(wire.start + topo.fat_tree_hop_ns, xfer);
+  const auto down = leaf_uplink(dst_leaf, 1, large)
+                        .reserve(up.start + topo.fat_tree_hop_ns, xfer);
+  return std::max(wire.finish, down.finish);
+}
+
 vt::Time IbBtl::am_send(Process& src, int dst_rank, int handler,
                         std::vector<std::byte> payload, vt::Time earliest) {
   const sg::CostModel& cm = src.runtime().machine().cost();
@@ -85,15 +128,18 @@ vt::Time IbBtl::am_send(Process& src, int dst_rank, int handler,
       cm.ib_latency_ns +
       vt::transfer_time(static_cast<std::int64_t>(payload.size()), cm.ib_gbps);
   const bool large = payload.size() > 4096;
-  const auto r =
-      link(src.node(), src.node_of(dst_rank), large).reserve(start, dur);
+  const int dst_node = src.node_of(dst_rank);
+  const auto r = link(src.node(), dst_node, large).reserve(start, dur);
+  const vt::Time arrival =
+      charge_fat_tree(src, src.node(), dst_node,
+                      static_cast<std::int64_t>(payload.size()), large, r);
   AmMessage m;
   m.handler = handler;
   m.src_rank = src.rank();
-  m.arrival = r.finish;
+  m.arrival = arrival;
   m.payload = std::move(payload);
   src.runtime().process(dst_rank).deliver(std::move(m));
-  return r.finish;
+  return arrival;
 }
 
 vt::Time IbBtl::rdma_get(Process& self, int peer_rank, void* local,
@@ -116,8 +162,12 @@ vt::Time IbBtl::rdma_get(Process& self, int peer_rank, void* local,
   }
   const vt::Time dur = cm.ib_latency_ns + cm.pcie_latency_ns +
                        vt::transfer_time(static_cast<std::int64_t>(bytes), bw);
-  const auto r = link(self.node(), self.node_of(peer_rank), bytes > 4096)
-                     .reserve(earliest, dur);
+  const bool large = bytes > 4096;
+  const int peer_node = self.node_of(peer_rank);
+  const auto r = link(self.node(), peer_node, large).reserve(earliest, dur);
+  const vt::Time finish =
+      charge_fat_tree(self, self.node(), peer_node,
+                      static_cast<std::int64_t>(bytes), large, r);
   std::memcpy(local, remote, bytes);
   // The wire bytes move outside the GPU runtime's calls; report them to
   // the access checker so GPUDirect reads participate in hazard analysis.
@@ -125,8 +175,8 @@ vt::Time IbBtl::rdma_get(Process& self, int peer_rank, void* local,
       {remote, static_cast<std::int64_t>(bytes), false},
       {local, static_cast<std::int64_t>(bytes), true}};
   sg::NoteAccess(self.gpu(), "ib_rdma", std::max(earliest, vt::Time{0}),
-                 r.finish, ranges);
-  return r.finish;
+                 finish, ranges);
+  return finish;
 }
 
 vt::Time IbBtl::rdma_put(Process& self, int peer_rank, void* remote,

@@ -113,12 +113,34 @@ class IbBtl : public Btl {
   /// pair (round-robin), and return its link resource.
   vt::TimedResource& link(int node_a, int node_b, bool large);
 
+  /// Leaf switch of a node under the configured fat tree, or -1 when the
+  /// fabric is a single full-bisection switch (the default).
+  int leaf_of(int node) const;
+
+  /// The shared spine uplink a cross-leaf transfer crosses at `leaf` in
+  /// the given direction (0 = toward the spine, 1 = from it). Large
+  /// transfers round-robin over the leaf's uplinks; control traffic
+  /// stays on uplink 0, mirroring the rail policy one level down.
+  vt::TimedResource& leaf_uplink(int leaf, int direction, bool large);
+
+  /// Charge a cross-leaf transfer's detour over both leaves' shared
+  /// uplinks; returns the (possibly later) finish time. No-op returning
+  /// `wire.finish` when src and dst share a leaf or no fat tree is
+  /// configured.
+  vt::Time charge_fat_tree(Process& p, int src_node, int dst_node,
+                           std::int64_t bytes, bool large,
+                           vt::Reservation wire);
+
   Runtime& rt_;
   std::mutex mu_;
   /// Directional links keyed by (src node, dst node, rail).
   std::map<std::tuple<int, int, int>, std::unique_ptr<vt::TimedResource>>
       links_;
   std::map<std::pair<int, int>, int> next_rail_;
+  /// Shared fat-tree uplinks keyed by (leaf, direction, uplink index).
+  std::map<std::tuple<int, int, int>, std::unique_ptr<vt::TimedResource>>
+      leaf_links_;
+  std::map<std::pair<int, int>, int> next_uplink_;
 };
 
 }  // namespace gpuddt::mpi

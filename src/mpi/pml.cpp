@@ -100,6 +100,57 @@ void Pml::complete_recv(RecvRequest& req) {
   recvs_.erase(req.id);  // req dangles from here on
 }
 
+namespace {
+
+std::string wildcard(std::int32_t v) {
+  return v < 0 ? std::string("any") : std::to_string(v);
+}
+
+}  // namespace
+
+std::string Pml::pending_summary() const {
+  // Deadlock reports are compared byte-exactly in tests, so walk the
+  // request maps in id order, never in hash order.
+  std::string out;
+  const auto append = [&out](const std::string& item) {
+    out += out.empty() ? item : ", " + item;
+  };
+
+  std::vector<std::uint64_t> ids;
+  ids.reserve(recvs_.size());
+  for (const auto& [id, req] : recvs_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const auto id : ids) {
+    const RecvRequest& r = *recvs_.at(id);
+    if (r.matched) {
+      append("recv(src=" + std::to_string(r.matched_env.src) +
+             ", tag=" + std::to_string(r.matched_env.tag) +
+             ", ctx=" + std::to_string(r.matched_env.context) +
+             ", in transfer)");
+    } else {
+      append("recv(src=" + wildcard(r.src) + ", tag=" + wildcard(r.tag) +
+             ", ctx=" + std::to_string(r.context) + ")");
+    }
+  }
+
+  ids.clear();
+  ids.reserve(sends_.size());
+  for (const auto& [id, req] : sends_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const auto id : ids) {
+    const SendRequest& s = *sends_.at(id);
+    append("send(dst=" + std::to_string(s.env.dst) +
+           ", tag=" + std::to_string(s.env.tag) +
+           ", ctx=" + std::to_string(s.env.context) +
+           ", bytes=" + std::to_string(s.total_bytes) + ")");
+  }
+
+  if (out.empty()) {
+    out = "no pending point-to-point ops";
+  }
+  return out;
+}
+
 // --- Send ------------------------------------------------------------------------
 
 Request Pml::isend(const void* buf, std::int64_t count, const DatatypePtr& dt,

@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -291,6 +292,14 @@ class Pml {
   /// Non-blocking probe of the unexpected queue (MPI_Iprobe): true when a
   /// matching message is waiting; fills `st` with its envelope/size.
   bool iprobe(int src, int tag, int context, Status* st);
+
+  /// One-line summary of this rank's in-flight operations - unmatched
+  /// posted receives (src/tag/context wildcards spelled out), matched
+  /// receives still transferring, and pending sends - in deterministic
+  /// (id-sorted) order. The schedulers' deadlock reports are built from
+  /// this, so a hang names the operations each rank is stuck on instead
+  /// of just its id.
+  std::string pending_summary() const;
 
   /// Register the PML's AM handlers (once per Runtime, before run()).
   static void register_handlers(Runtime& rt);

@@ -1,7 +1,9 @@
 #include "mpi/runtime.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "check/access_tracker.h"
@@ -134,6 +136,20 @@ int Runtime::device_of(int rank) const {
 
 Btl& Runtime::btl_between(int a, int b) { return bml_->between(a, b); }
 
+SchedBackend resolve_sched_backend(SchedBackend configured) {
+  if (configured != SchedBackend::kAuto) return configured;
+  if (const char* env = std::getenv("GPUDDT_SIM_BACKEND")) {
+    const std::string v(env);
+    if (v == "event" || v == "fiber") return SchedBackend::kEvent;
+    if (v == "threads" || v == "thread") return SchedBackend::kThreads;
+    if (!v.empty()) {
+      throw std::invalid_argument(
+          "GPUDDT_SIM_BACKEND must be 'event' or 'threads', got '" + v + "'");
+    }
+  }
+  return SchedBackend::kEvent;
+}
+
 void Runtime::run(const std::function<void(Process&)>& fn) {
   if (ran_) throw std::logic_error("Runtime::run may only be called once");
   ran_ = true;
@@ -141,8 +157,52 @@ void Runtime::run(const std::function<void(Process&)>& fn) {
   for (int r = 0; r < cfg_.world_size; ++r)
     procs_.push_back(std::make_unique<Process>(*this, r));
 
-  if (cfg_.deterministic)
-    sched_ = std::make_unique<TurnScheduler>(cfg_.world_size);
+  if (!cfg_.deterministic) {
+    run_threads(fn, /*cooperative=*/false);
+    return;
+  }
+  if (resolve_sched_backend(cfg_.sched_backend) == SchedBackend::kThreads) {
+    run_threads(fn, /*cooperative=*/true);
+    return;
+  }
+  run_event_loop(fn);
+}
+
+// The default deterministic backend: every rank is a continuation of one
+// event loop. Rank bodies reach the scheduler through the same
+// Process::progress paths as the thread backend; only the suspension
+// mechanism differs (a context switch instead of a condvar park).
+void Runtime::run_event_loop(const std::function<void(Process&)>& fn) {
+  vt::EventEngine engine(cfg_.world_size, {cfg_.sim_stack_bytes});
+  engine.set_block_describer(
+      [this](int r) { return procs_[static_cast<size_t>(r)]->pml().pending_summary(); });
+  engine.set_clock_probe(
+      [this](int r) { return procs_[static_cast<size_t>(r)]->clock().now(); });
+  sched_ = &engine;
+  try {
+    engine.run([&](int r) { fn(*procs_[static_cast<size_t>(r)]); });
+  } catch (...) {
+    sim_stats_ = engine.stats();
+    sched_ = nullptr;
+    throw;
+  }
+  sim_stats_ = engine.stats();
+  sched_ = nullptr;
+}
+
+// The legacy backends: one OS thread per rank, either cooperating through
+// TurnScheduler (deterministic reference implementation) or free-running
+// with the real-time deadlock watchdog.
+void Runtime::run_threads(const std::function<void(Process&)>& fn,
+                          bool cooperative) {
+  std::unique_ptr<TurnScheduler> turn;
+  if (cooperative) {
+    turn = std::make_unique<TurnScheduler>(cfg_.world_size);
+    turn->set_block_describer([this](int r) {
+      return procs_[static_cast<size_t>(r)]->pml().pending_summary();
+    });
+    sched_ = turn.get();
+  }
 
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(cfg_.world_size);
@@ -150,18 +210,18 @@ void Runtime::run(const std::function<void(Process&)>& fn) {
   for (int r = 0; r < cfg_.world_size; ++r) {
     threads.emplace_back([&, r] {
       try {
-        if (sched_) sched_->start(r);
+        if (turn) turn->start(r);
         fn(*procs_[r]);
       } catch (...) {
         errors[r] = std::current_exception();
       }
       // Leave the rotation even on exception, or the peers would wait for
       // this rank's turn forever.
-      if (sched_) sched_->finish(r);
+      if (turn) turn->finish(r);
     });
   }
   for (auto& t : threads) t.join();
-  sched_.reset();
+  sched_ = nullptr;
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "simgpu/runtime.h"
+#include "vtime/engine.h"
 #include "vtime/vclock.h"
 
 namespace gpuddt::obs {
@@ -36,7 +37,18 @@ class Pml;
 class Btl;
 class Bml;
 class GpuTransferPlugin;
-class TurnScheduler;
+
+/// Which engine drives the deterministic cooperative schedule.
+enum class SchedBackend {
+  kAuto,     ///< GPUDDT_SIM_BACKEND env ("event"/"threads"), else kEvent
+  kThreads,  ///< legacy mpi::TurnScheduler: one parked OS thread per rank
+  kEvent,    ///< vt::EventEngine: resumable continuations, one OS thread
+};
+
+/// Resolve kAuto against the GPUDDT_SIM_BACKEND environment variable
+/// ("event" or "threads"/"thread"; anything else throws). Exposed so
+/// benches/tests can report which backend a run actually used.
+SchedBackend resolve_sched_backend(SchedBackend configured);
 
 /// A BTL-level Active Message: the receiver runs the registered handler
 /// for `handler` when it progresses its inbox ([4] in the paper).
@@ -107,12 +119,25 @@ struct RuntimeConfig {
   /// Force the copy-in/out protocol even when IPC would be available.
   bool force_copy_inout = false;
 
-  /// Cooperative deterministic scheduling (mpi/sched.h): rank threads take
-  /// round-robin turns instead of free-running, so every touch of shared
-  /// virtual-time state (arenas, timed resources, inboxes) happens in a
-  /// program-defined order and repeat runs are bit-identical. Off restores
-  /// the legacy free-running threads with the real-time deadlock timeout.
+  /// Cooperative deterministic scheduling (vtime/engine.h, mpi/sched.h):
+  /// ranks take round-robin turns instead of free-running, so every touch
+  /// of shared virtual-time state (arenas, timed resources, inboxes)
+  /// happens in a program-defined order and repeat runs are
+  /// bit-identical. Off restores the legacy free-running threads with the
+  /// real-time deadlock timeout.
   bool deterministic = true;
+
+  /// Which scheduler implements the deterministic rotation. Both backends
+  /// produce byte-identical virtual schedules (the equivalence suite pins
+  /// this); the event backend is the default and scales to 1000+ ranks.
+  /// Precedence: this field > GPUDDT_SIM_BACKEND env > event.
+  SchedBackend sched_backend = SchedBackend::kAuto;
+
+  /// Usable stack bytes per rank continuation (event backend only). Rank
+  /// bodies run protocol code on these stacks; the default fits the
+  /// deepest existing path (collectives over rendezvous over DEV) with
+  /// ample headroom, and a guard page faults on overflow.
+  std::size_t sim_stack_bytes = std::size_t{1} << 20;
 
   /// Real-time guard for the non-deterministic mode: a blocking progress
   /// loop that sees no traffic for this many milliseconds aborts the run.
@@ -199,8 +224,10 @@ class Runtime {
   void set_gpu_plugin(std::shared_ptr<GpuTransferPlugin> plugin);
   GpuTransferPlugin* gpu_plugin() { return plugin_.get(); }
 
-  /// SPMD entry: spawn one thread per rank running `fn`. Exceptions from
-  /// any rank are rethrown after join.
+  /// SPMD entry: run `fn` once per rank. Under the default event backend
+  /// every rank is a resumable continuation dispatched by one event loop
+  /// on the calling thread; the thread backends spawn one OS thread per
+  /// rank. The lowest-failing-rank exception is rethrown at the end.
   void run(const std::function<void(Process&)>& fn);
 
   Process& process(int rank) { return *procs_.at(rank); }
@@ -214,16 +241,25 @@ class Runtime {
 
   /// The cooperative scheduler; null when config().deterministic is off
   /// or outside run().
-  TurnScheduler* scheduler() { return sched_.get(); }
+  vt::TaskScheduler* scheduler() { return sched_; }
+
+  /// Event-loop counters from the last run (all zero after thread-backend
+  /// or free-running runs). Deterministic for a fixed program, so
+  /// bench_sim_throughput gates them byte-exactly.
+  const vt::EngineStats& sim_stats() const { return sim_stats_; }
 
  private:
+  void run_threads(const std::function<void(Process&)>& fn, bool cooperative);
+  void run_event_loop(const std::function<void(Process&)>& fn);
+
   RuntimeConfig cfg_;
   std::unique_ptr<sg::Machine> machine_;
   std::vector<AmHandler> handlers_;
   std::shared_ptr<GpuTransferPlugin> plugin_;
   std::unique_ptr<Bml> bml_;
   std::vector<std::unique_ptr<Process>> procs_;
-  std::unique_ptr<TurnScheduler> sched_;
+  vt::TaskScheduler* sched_ = nullptr;
+  vt::EngineStats sim_stats_;
   bool ran_ = false;
 };
 

@@ -9,10 +9,14 @@ TurnScheduler::TurnScheduler(int nranks)
     : state_(static_cast<size_t>(nranks), State::kRunnable),
       pending_(static_cast<size_t>(nranks), false) {}
 
+void TurnScheduler::set_block_describer(vt::BlockDescriber d) {
+  describer_ = std::move(d);
+}
+
 void TurnScheduler::start(int rank) {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return active_ == rank || deadlock_; });
-  if (deadlock_) throw_deadlock(rank);
+  if (deadlock_) throw_deadlock();
 }
 
 void TurnScheduler::finish(int rank) {
@@ -32,7 +36,7 @@ void TurnScheduler::wait_for_message(int rank) {
   cv_.wait(lk, [&] {
     return (active_ == rank && state_[rank] == State::kRunnable) || deadlock_;
   });
-  if (deadlock_) throw_deadlock(rank);
+  if (deadlock_) throw_deadlock();
   pending_[rank] = false;
 }
 
@@ -41,7 +45,7 @@ void TurnScheduler::yield(int rank) {
   pass_turn_locked(rank);
   if (active_ == rank) return;  // nobody else runnable
   cv_.wait(lk, [&] { return active_ == rank || deadlock_; });
-  if (deadlock_) throw_deadlock(rank);
+  if (deadlock_) throw_deadlock();
 }
 
 void TurnScheduler::note_message(int dst) {
@@ -61,9 +65,20 @@ void TurnScheduler::pass_turn_locked(int from) {
     }
   }
   // No runnable rank. If blocked ranks remain, nobody can ever wake them.
+  // The detecting thread is the only one executing (all blocked peers are
+  // parked on cv_), so the describer may safely read cross-rank protocol
+  // state while we compose the report.
   for (int r = 0; r < n; ++r) {
     if (state_[r] == State::kBlocked) {
-      deadlock_ = true;
+      // Compose once, at first detection: the detecting rank unwinds
+      // through finish() afterwards (already kFinished), so recomposing
+      // would drop its pending op from every other rank's report.
+      if (!deadlock_) {
+        deadlock_report_ = vt::compose_deadlock_report(
+            n, [this](int t) { return state_[t] == State::kBlocked; },
+            describer_);
+        deadlock_ = true;
+      }
       cv_.notify_all();
       return;
     }
@@ -71,11 +86,8 @@ void TurnScheduler::pass_turn_locked(int from) {
   // Everyone finished; nothing to do.
 }
 
-void TurnScheduler::throw_deadlock(int rank) const {
-  throw std::runtime_error(
-      "TurnScheduler: deadlock - rank " + std::to_string(rank) +
-      " is waiting for messages but every remaining rank is blocked or "
-      "finished");
+void TurnScheduler::throw_deadlock() const {
+  throw vt::DeadlockError(deadlock_report_);
 }
 
 }  // namespace gpuddt::mpi

@@ -29,11 +29,19 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <string>
 #include <vector>
+
+#include "vtime/engine.h"
 
 namespace gpuddt::mpi {
 
-class TurnScheduler {
+/// The legacy thread-backed scheduler. The default backend is now the
+/// event-driven vt::EventEngine (vtime/engine.h), which implements the
+/// identical handoff policy with resumable continuations instead of
+/// parked OS threads; TurnScheduler is kept as the reference
+/// implementation the scheduler-equivalence suite replays against.
+class TurnScheduler final : public vt::TaskScheduler {
  public:
   explicit TurnScheduler(int nranks);
 
@@ -47,32 +55,41 @@ class TurnScheduler {
 
   /// Yield the turn until a message is pending for `rank`. Returns
   /// immediately if one was delivered since the last wait. Throws
-  /// std::runtime_error when every remaining rank is blocked on an empty
-  /// inbox (deadlock).
-  void wait_for_message(int rank);
+  /// vt::DeadlockError when every remaining rank is blocked on an empty
+  /// inbox (deadlock); the message lists each blocked rank's pending
+  /// operations when a block describer is installed.
+  void wait_for_message(int rank) override;
 
   /// Polling yield (empty-inbox Process::progress): give every other
   /// runnable rank one turn, then resume. The caller stays runnable, so
   /// iprobe/test spin loops cannot starve their peers. No-op when no
   /// other rank can run.
-  void yield(int rank);
+  void yield(int rank) override;
 
   /// A message was delivered to `dst`'s inbox. Called by the turn holder
   /// (the only executing thread) from Process::deliver.
-  void note_message(int dst);
+  void note_message(int dst) override;
+
+  /// Install the pending-op describer consulted when composing deadlock
+  /// reports. Called while the turn holder executes and every other
+  /// thread is parked, so it may read cross-rank protocol state.
+  void set_block_describer(vt::BlockDescriber d) override;
 
  private:
   enum class State { kRunnable, kBlocked, kFinished };
 
   /// Pick the next runnable rank after `from` (round-robin) and wake it;
-  /// flags deadlock when only blocked ranks remain.
+  /// flags deadlock (and composes the report) when only blocked ranks
+  /// remain.
   void pass_turn_locked(int from);
-  void throw_deadlock(int rank) const;
+  [[noreturn]] void throw_deadlock() const;
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<State> state_;
   std::vector<bool> pending_;  // message delivered since last wait/poll
+  vt::BlockDescriber describer_;
+  std::string deadlock_report_;
   int active_ = 0;
   bool deadlock_ = false;
 };

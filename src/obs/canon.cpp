@@ -76,8 +76,12 @@ void write_value(std::string& out, const json::Value& v) {
 bool instrumentation_metric(const std::string& key) {
   // verify.prover_ns is wall-clock prover time (src/verify/hook.cpp) -
   // real host nanoseconds, never deterministic across runs. The other
-  // verify.* counters are pure counts and stay canonical.
-  return key.rfind("check.", 0) == 0 || key == "verify.prover_ns";
+  // verify.* counters are pure counts and stay canonical. sim.wall_ns
+  // and sim.vns_per_wall_s (bench_sim_throughput) are likewise real
+  // host time; the rest of the sim.* family (dispatches, wakeups,
+  // yields, virtual_ns) is deterministic and stays canonical.
+  return key.rfind("check.", 0) == 0 || key == "verify.prover_ns" ||
+         key == "sim.wall_ns" || key == "sim.vns_per_wall_s";
 }
 
 void write_section(std::string& out, const char* name,

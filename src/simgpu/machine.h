@@ -32,6 +32,42 @@ struct PtrAttributes {
   int device = -1;  // owning device for kDevice pointers
 };
 
+/// Multi-node topology model (docs/simulator.md). Every default models
+/// the degenerate flat topology the simulator always assumed - no NVLink,
+/// one full-bisection IB switch - so configurations that never touch
+/// these fields produce byte-identical virtual timelines with history.
+struct TopologyConfig {
+  // --- NVLink domains within a node --------------------------------------
+  /// Devices [k*n, (k+1)*n) share an NVLink domain: peer copies between
+  /// them ride the devices' NVLink ports instead of their PCI-E links.
+  /// 0 disables NVLink modeling (every peer copy crosses the PCI-E
+  /// switch, the K40-era default).
+  int nvlink_domain_size = 0;
+  /// Per-direction NVLink bandwidth (P100-era NVLink 1.0: 4 bonded
+  /// links ~ 40 GB/s each way after protocol overhead, versus ~12 GB/s
+  /// over the PCI-E switch).
+  double nvlink_gbps = 40.0;
+  /// DMA start latency over NVLink (no root-complex traversal).
+  vt::Time nvlink_latency_ns = vt::usec(1.9);
+
+  // --- Fat-tree InfiniBand between nodes ---------------------------------
+  /// Nodes [k*n, (k+1)*n) hang off leaf switch k; traffic between nodes
+  /// under different leaves additionally crosses both leaves' shared
+  /// spine uplinks. 0 models one full-bisection switch (the default:
+  /// node-pair links only, no shared uplink contention).
+  int fat_tree_leaf_nodes = 0;
+  /// Spine uplinks per leaf switch. Large cross-leaf transfers
+  /// round-robin across them (the ib_rails idiom one level up);
+  /// small/control traffic stays on uplink 0.
+  int fat_tree_uplinks = 1;
+  /// Bandwidth of one uplink. A leaf with fewer uplinks than nodes is
+  /// oversubscribed: concurrent cross-leaf flows queue here even when
+  /// their node-pair links are idle.
+  double fat_tree_uplink_gbps = 5.8;
+  /// Extra store-and-forward latency of the leaf -> spine -> leaf detour.
+  vt::Time fat_tree_hop_ns = vt::usec(0.7);
+};
+
 struct MachineConfig {
   int num_devices = 2;
   /// SMs per device (K40: 15 SMX).
@@ -39,6 +75,8 @@ struct MachineConfig {
   /// Bytes of simulated device memory per device.
   std::size_t device_memory_bytes = std::size_t{1} << 30;
   CostModel cost;
+  /// Intra-node NVLink domains and inter-node fat-tree shape.
+  TopologyConfig topo;
   /// Device-access checking (src/check/): -1 inherits the build/env
   /// default (GPUDDT_CHECK option, GPUDDT_CHECK env var), 0 forces it
   /// off, 1 forces it on for this machine.
@@ -61,11 +99,15 @@ class Device {
   vt::TimedResource& copy_engine() { return copy_engine_; }
   /// The PCI-E link between this device and the host / switch.
   vt::TimedResource& pcie() { return pcie_; }
+  /// This device's NVLink port; reserved (instead of pcie) by peer
+  /// copies whose endpoints share an NVLink domain.
+  vt::TimedResource& nvlink() { return nvlink_; }
 
   void reset_timing() {
     sm_.reset();
     copy_engine_.reset();
     pcie_.reset();
+    nvlink_.reset();
   }
 
  private:
@@ -74,6 +116,7 @@ class Device {
   vt::CapacityResource sm_;
   vt::TimedResource copy_engine_;
   vt::TimedResource pcie_;
+  vt::TimedResource nvlink_;
 };
 
 class Machine {
@@ -93,6 +136,18 @@ class Machine {
 
   int num_devices() const { return static_cast<int>(devices_.size()); }
   Device& device(int d) { return *devices_.at(d); }
+
+  /// NVLink domain of a device, or -1 when NVLink is not modeled.
+  int nvlink_domain(int device) const {
+    return cfg_.topo.nvlink_domain_size > 0
+               ? device / cfg_.topo.nvlink_domain_size
+               : -1;
+  }
+  /// True when a peer copy between these (distinct) devices rides NVLink.
+  bool nvlink_connected(int a, int b) const {
+    return a != b && a >= 0 && b >= 0 && nvlink_domain(a) >= 0 &&
+           nvlink_domain(a) == nvlink_domain(b);
+  }
 
   // --- Host allocations -----------------------------------------------------
 

@@ -68,13 +68,25 @@ vt::Time reserve_copy(HostContext& ctx, const ResolvedCopy& rc,
           .finish;
     }
     case CopyKind::kD2DPeer: {
+      Machine& m = *ctx.machine;
+      if (m.nvlink_connected(rc.src_device, rc.dst_device)) {
+        // Endpoints share an NVLink domain: the copy rides both devices'
+        // NVLink ports and never touches the PCI-E switch.
+        const TopologyConfig& topo = m.config().topo;
+        const vt::Time dur = topo.nvlink_latency_ns +
+                             vt::transfer_time(eff_bytes, topo.nvlink_gbps) +
+                             extra_per_call;
+        const auto r1 =
+            m.device(rc.src_device).nvlink().reserve(earliest, dur);
+        const auto r2 =
+            m.device(rc.dst_device).nvlink().reserve(r1.start, dur);
+        return r2.finish;
+      }
       const vt::Time dur =
           cm.pcie_latency_ns + cm.peer_ns(eff_bytes) + extra_per_call;
       // The transfer occupies both endpoints' PCI-E links.
-      const auto r1 =
-          ctx.machine->device(rc.src_device).pcie().reserve(earliest, dur);
-      const auto r2 =
-          ctx.machine->device(rc.dst_device).pcie().reserve(r1.start, dur);
+      const auto r1 = m.device(rc.src_device).pcie().reserve(earliest, dur);
+      const auto r2 = m.device(rc.dst_device).pcie().reserve(r1.start, dur);
       return r2.finish;
     }
   }

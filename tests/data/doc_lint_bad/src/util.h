@@ -1,0 +1,2 @@
+// Fixture source: deliberately defines none of the doc's claims.
+#pragma once

@@ -1,0 +1,5 @@
+// Fixture: "gpu." is registered but undocumented in the fixture docs.
+constexpr const char* kKnownFamilies[] = {
+    "pml.",
+    "gpu.",
+};

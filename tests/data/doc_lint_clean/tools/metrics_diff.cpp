@@ -1,0 +1,4 @@
+// Fixture: the family registry doc_lint cross-checks against metrics.md.
+constexpr const char* kKnownFamilies[] = {
+    "pml.",
+};

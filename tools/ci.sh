@@ -4,9 +4,10 @@
 # every machine), ASan/UBSan build + tests, a determinism sweep over all
 # benchmark binaries (docs/determinism.md), the symbolic verifier over
 # its corpus and over every DEV the bench suite caches
-# (docs/verification.md), and the blocking lint stage (clang-tidy with
-# warnings-as-errors + the determinism lint). Mirrors the
-# CMakePresets.json configurations.
+# (docs/verification.md), the simulator scale stage (1024-rank smoke +
+# throughput baseline gate; docs/simulator.md), and the blocking lint
+# stage (clang-tidy with warnings-as-errors + the determinism lint +
+# the doc lint). Mirrors the CMakePresets.json configurations.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -90,9 +91,27 @@ done
 run env GPUDDT_VERIFY=1 build/bench/bench_ddt_zoo \
   --metrics-out=build/ci_zoo_verify.json
 
-# 7. Lint: blocking. clang-tidy findings are errors
+# 7. Simulator scale (docs/simulator.md): the event-driven core must
+#    hold 1000+ ranks. The 1024-rank smoke runs the SimScale suite
+#    (ring exchange over a fat tree, double-run deterministic, plus the
+#    1024-rank deadlock report), the throughput bench re-gates its
+#    deterministic sim.* scheduling counters against the checked-in
+#    baseline, and a 256-rank-config determinism double-run closes the
+#    loop. (Stage 5's sweep already double-ran bench_sim_throughput;
+#    this run is the named, grep-able scale gate.)
+run ctest --test-dir build --output-on-failure -R 'SimScale'
+run build/bench/bench_sim_throughput \
+  --metrics-out=build/ci_sim_throughput.json
+run build/tools/metrics_diff --gate \
+  --baseline bench/baselines/sim_throughput.json \
+  build/ci_sim_throughput.json
+run build/tools/determinism_check build/bench/bench_sim_throughput \
+  -- "--benchmark_filter=BM_SimThroughput_Ring/256"
+
+# 8. Lint: blocking. clang-tidy findings are errors
 #    (--warnings-as-errors=*) and a missing clang-tidy fails the stage
-#    instead of degrading; the determinism lint runs in the same target.
+#    instead of degrading; the determinism lint and the documentation
+#    lint (tools/doc_lint.py) run in the same target.
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "ci.sh: clang-tidy is required for the blocking lint stage" >&2
   exit 1

@@ -103,8 +103,8 @@ void check_schema(const Value& doc, const std::string& path) {
 /// instrumentation site with a new prefix requires extending this list
 /// (and the docs) in the same change.
 constexpr const char* kKnownFamilies[] = {
-    "engine.", "dev_cache.", "check.", "pml.",
-    "gpu.",    "coll.",      "rma.",   "shmem.", "verify.",
+    "engine.", "dev_cache.", "check.", "pml.",   "gpu.",
+    "coll.",   "rma.",       "shmem.", "verify.", "sim.",
 };
 
 bool known_family(const std::string& name) {

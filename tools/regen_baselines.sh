@@ -29,6 +29,7 @@ BASELINES=(
   "ablation_pipeline|bench_ablation_pipeline||"
   "ddt_zoo|bench_ddt_zoo||"
   "fig9_stream_triggered|bench_fig9_pcie_pingpong||--stream-triggered"
+  "sim_throughput|bench_sim_throughput||"
 )
 
 binaries=(metrics_diff)
