@@ -94,9 +94,15 @@ inline void record(benchmark::State& state, vt::Time virtual_ns,
 /// `--stream-triggered` forces the stream-triggered fragment chains on
 /// for every runtime the run creates (mpi::set_stream_triggered_forced,
 /// docs/protocols.md), same precedence slot as the GPUDDT_CHECK-style
-/// forcing the other flags use. Returns the usual benchmark exit status.
+/// forcing the other flags use. `--latency-out=FILE` switches the
+/// process-global recorder's streaming flow-latency engine on before the
+/// benchmarks run and writes the gpuddt-latency-v1 report
+/// (docs/latency.md) to FILE afterwards - it works with tracing off,
+/// since FlowStats consumes spans before the ring buffer can drop them.
+/// Returns the usual benchmark exit status.
 inline int bench_main(int argc, char** argv) {
   std::string metrics_out;
+  std::string latency_out;
   std::string check_out;
   std::string trace_format;
   std::string trace_out;
@@ -106,6 +112,9 @@ inline int bench_main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--latency-out=", 14) == 0) {
+      latency_out = argv[i] + 14;
+      obs::default_recorder().flowstats().enable(true);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       obs::default_recorder().enable_tracing(true);
     } else if (std::strncmp(argv[i], "--trace-format=", 15) == 0) {
@@ -159,6 +168,13 @@ inline int bench_main(int argc, char** argv) {
     if (!obs::default_recorder().write_json(metrics_out)) {
       std::fprintf(stderr, "failed to write metrics to %s\n",
                    metrics_out.c_str());
+      return 1;
+    }
+  }
+  if (!latency_out.empty()) {
+    if (!obs::default_recorder().write_latency_json(latency_out)) {
+      std::fprintf(stderr, "failed to write latency report to %s\n",
+                   latency_out.c_str());
       return 1;
     }
   }

@@ -24,11 +24,13 @@ constexpr int kCollTagBase = 0x2fff0000;
 /// so early returns (leaf ranks) are covered.
 class CollSpan {
  public:
-  CollSpan(Comm& comm, const char* op, std::uint64_t flow = 0)
+  CollSpan(Comm& comm, const char* op, std::uint64_t flow = 0,
+           std::uint64_t shape = 0)
       : comm_(comm),
         rec_(comm.process().config().recorder),
         op_(op),
         flow_(flow),
+        shape_(shape),
         begin_(comm.process().clock().now()) {}
 
   void sent(std::int64_t bytes, bool contiguous, bool staged) {
@@ -52,8 +54,17 @@ class CollSpan {
       obs::count(rec_, "coll.bytes.contiguous", contiguous_);
     if (staged_ > 0) obs::count(rec_, "coll.bytes.staged", staged_);
     if (direct_ > 0) obs::count(rec_, "coll.bytes.direct", direct_);
-    obs::trace(rec_, {op_, "coll", begin_, comm_.process().clock().now(),
-                      comm_.rank(), bytes_, comm_.rank(), flow_});
+    const std::int64_t end = comm_.process().clock().now();
+    obs::trace(rec_, {op_, "coll", begin_, end, comm_.rank(), bytes_,
+                      comm_.rank(), flow_});
+    // Every member rank emits one completion against the shared
+    // coll_flow id; the latency engine finalizes the flow when all
+    // comm.size() participants have reported, spanning the earliest
+    // begin to the latest end (obs/flowstats.h).
+    if (flow_ != 0 && rec_->flowstats().enabled()) {
+      rec_->flowstats().complete({flow_, std::string("coll.") + op_, shape_,
+                                  bytes_, begin_, end, comm_.size()});
+    }
   }
 
   CollSpan(const CollSpan&) = delete;
@@ -64,6 +75,7 @@ class CollSpan {
   obs::Recorder* rec_;
   const char* op_;
   std::uint64_t flow_ = 0;
+  std::uint64_t shape_ = 0;
   std::int64_t begin_;
   std::int64_t bytes_ = 0;
   std::int64_t flops_ = 0;
@@ -154,7 +166,8 @@ void Collectives::bcast(void* buf, std::int64_t count, const DatatypePtr& dt,
   const int rank = comm_.rank();
   const int tag = next_tag();
   if (size == 1 || count == 0 || dt->size() == 0) return;
-  CollSpan span(comm_, "bcast", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "bcast", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   const int vrank = (rank - root + size) % size;
@@ -185,7 +198,8 @@ void Collectives::gather(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "gather", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "gather", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   if (rank != root) {
@@ -215,7 +229,8 @@ void Collectives::scatter(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "scatter", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "scatter", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   if (rank != root) {
@@ -242,7 +257,8 @@ void Collectives::allgather(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "allgather", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "allgather", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   auto* out = static_cast<std::byte*>(recvbuf);
@@ -276,7 +292,8 @@ void Collectives::alltoall(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "alltoall", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "alltoall", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   const std::int64_t block = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
   const auto* in = static_cast<const std::byte*>(sendbuf);
@@ -301,7 +318,8 @@ void Collectives::reduce(const void* sendbuf, void* recvbuf,
   const int size = comm_.size();
   const int rank = comm_.rank();
   const int tag = next_tag();
-  CollSpan span(comm_, "reduce", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "reduce", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   const Primitive prim = reduce_primitive(dt);
   const std::int64_t bytes = dt->size() * count;
   const bool contig = dt->is_contiguous(count);
@@ -352,7 +370,8 @@ void Collectives::allreduce(const void* sendbuf, void* recvbuf,
   // own epoch so its flow is distinct from the nested reduce and bcast
   // chains (and from whatever collective ran before it).
   next_tag();
-  CollSpan span(comm_, "allreduce", coll_flow(comm_.context(), epoch_));
+  CollSpan span(comm_, "allreduce", coll_flow(comm_.context(), epoch_),
+                dt->shape_digest());
   reduce(sendbuf, recvbuf, count, dt, op, 0);
   bcast(recvbuf, count, dt, 0);
 }

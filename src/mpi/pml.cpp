@@ -93,6 +93,21 @@ void Pml::complete_send(SendRequest& req) {
 }
 
 void Pml::complete_recv(RecvRequest& req) {
+  // Every protocol (host fragments, eager delivery, all GPU plugin
+  // modes) funnels receive completion through here, so this is where a
+  // logical send flow closes for the latency engine. Eager messages
+  // carry no flow id (peer_send_id 0): they are counted dropped, never
+  // silently folded into percentiles.
+  obs::Recorder* rec = proc_.config().recorder;
+  if (rec != nullptr && rec->flowstats().enabled()) {
+    if (req.peer_send_id != 0) {
+      rec->flowstats().complete(
+          {frag_flow(req.matched_env.src, req.peer_send_id, 0), "send",
+           req.dt ? req.dt->shape_digest() : 0, req.total_bytes, -1, -1, 1});
+    } else {
+      rec->flowstats().drop_unidentified();
+    }
+  }
   req.user->done = true;
   req.user->status.source = req.matched_env.src;
   req.user->status.tag = req.matched_env.tag;

@@ -8,6 +8,7 @@
 
 #include "check/access_tracker.h"
 #include "mpi/bml.h"
+#include "obs/recorder.h"
 #include "mpi/btl.h"
 #include "mpi/pml.h"
 #include "mpi/sched.h"
@@ -112,9 +113,16 @@ Runtime::Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {
   check::set_recorder(*machine_, cfg_.recorder);
   bml_ = std::make_unique<Bml>(*this);
   Pml::register_handlers(*this);
+  // Send ids and collective epochs restart with this Runtime, so the
+  // latency engine must fence its flow-id space (obs/flowstats.h).
+  if (cfg_.recorder != nullptr) cfg_.recorder->flowstats().begin_generation();
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Flows still open now (truncated run, receiver never completed) are
+  // counted in flowstats.dropped, never folded into percentiles.
+  if (cfg_.recorder != nullptr) cfg_.recorder->flowstats().end_generation();
+}
 
 int Runtime::register_handler(AmHandler h) {
   if (ran_)

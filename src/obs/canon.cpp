@@ -122,4 +122,33 @@ std::string canonical_metrics(const json::Value& doc) {
   return out;
 }
 
+std::string canonical_latency(const json::Value& doc) {
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != "gpuddt-latency-v1") {
+    throw std::runtime_error(
+        "canonical_latency: not a gpuddt-latency-v1 report");
+  }
+  if (!doc.contains("flowstats") || !doc.contains("classes")) {
+    throw std::runtime_error(
+        "canonical_latency: report lacks flowstats/classes sections");
+  }
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"schema\": \"gpuddt-latency-v1\",\n";
+  write_section(out, "flowstats", doc.at("flowstats").as_object());
+  out += ",\n";
+  write_section(out, "classes", doc.at("classes").as_object());
+  out += "\n}\n";
+  return out;
+}
+
+std::string canonical_report(const json::Value& doc) {
+  if (doc.is_object() && doc.contains("schema") &&
+      doc.at("schema").is_string() &&
+      doc.at("schema").as_string() == "gpuddt-latency-v1") {
+    return canonical_latency(doc);
+  }
+  return canonical_metrics(doc);
+}
+
 }  // namespace gpuddt::obs

@@ -32,4 +32,19 @@ namespace gpuddt::obs {
 /// metrics section.
 std::string canonical_metrics(const json::Value& doc);
 
+/// Canonical text of a parsed gpuddt-latency-v1 report (obs/flowstats.h,
+/// docs/latency.md): fixed section order (schema, flowstats, classes),
+/// sorted keys inside each section, the same number-printing rules as
+/// canonical_metrics. FlowStats::to_json() emits exactly this form, so
+/// serialize -> parse -> canonicalize is byte-idempotent. Throws
+/// std::runtime_error when `doc` is not a latency report.
+std::string canonical_latency(const json::Value& doc);
+
+/// Schema-dispatching canonicalizer: gpuddt-latency-v1 documents go
+/// through canonical_latency, everything else through canonical_metrics
+/// (which rejects unknown schemas). The determinism harness and the
+/// baseline gate use this so metrics dumps and latency reports share one
+/// --gate / --canon path.
+std::string canonical_report(const json::Value& doc);
+
 }  // namespace gpuddt::obs

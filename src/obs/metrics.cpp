@@ -15,6 +15,29 @@ std::size_t bucket_of(std::int64_t v) {
 
 }  // namespace
 
+std::int64_t nearest_rank(double q, std::int64_t count) {
+  if (count <= 0) return 0;
+  const double scaled = q * static_cast<double>(count);
+  auto rank = static_cast<std::int64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;  // ceil
+  return std::clamp<std::int64_t>(rank, 1, count);
+}
+
+std::int64_t Histogram::Snapshot::quantile_nearest_rank(double q) const {
+  if (count == 0) return 0;
+  const std::int64_t rank = nearest_rank(q, count);
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      if (i == 0) return std::max<std::int64_t>(0, min);
+      const std::int64_t hi = i >= 63 ? max : (std::int64_t{1} << i) - 1;
+      return std::max(min, std::min(hi, max));
+    }
+  }
+  return max;
+}
+
 std::int64_t Histogram::Snapshot::quantile(double q) const {
   if (count == 0) return 0;
   const auto target = static_cast<std::int64_t>(

@@ -54,6 +54,11 @@ class Histogram {
     }
     /// Approximate quantile (bucket upper bound), q in [0, 1].
     std::int64_t quantile(double q) const;
+    /// Nearest-rank quantile (rank = clamp(ceil(q*count), 1, count), no
+    /// interpolation; see nearest_rank below): the bucket upper bound of
+    /// the rank-th smallest sample, clamped to [min, max]. Deterministic
+    /// for any sample stream; 0 when the histogram is empty.
+    std::int64_t quantile_nearest_rank(double q) const;
   };
 
   void record(std::int64_t value);
@@ -63,6 +68,13 @@ class Histogram {
   mutable std::mutex mu_;
   Snapshot s_;
 };
+
+/// The nearest-rank percentile index: the 1-based rank of the sample that
+/// *is* quantile q over `count` sorted samples, clamp(ceil(q * count), 1,
+/// count). Exact and deterministic - no interpolation between samples -
+/// which is what lets latency reports (obs/flowstats.h) and histogram
+/// percentiles gate byte-identically. Returns 0 when count <= 0.
+std::int64_t nearest_rank(double q, std::int64_t count);
 
 /// Thread-safe name -> instrument map. Names are dot-separated paths
 /// ("engine.pack.bytes.dev"); docs/metrics.md lists the stable set.

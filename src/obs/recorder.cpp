@@ -113,6 +113,10 @@ bool Recorder::write_chrome_json(const std::string& path) const {
   return write_file(path, to_chrome_json());
 }
 
+bool Recorder::write_latency_json(const std::string& path) const {
+  return write_file(path, latency_json());
+}
+
 Recorder& default_recorder() {
   static Recorder rec;
   return rec;

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "obs/flowstats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,6 +26,8 @@ class Recorder {
   const Registry& metrics() const { return metrics_; }
   TraceBuffer& trace() { return trace_; }
   const TraceBuffer& trace() const { return trace_; }
+  FlowStats& flowstats() { return flowstats_; }
+  const FlowStats& flowstats() const { return flowstats_; }
 
   void enable_tracing(bool on = true) { trace_.enable(on); }
   bool tracing() const { return trace_.enabled(); }
@@ -47,15 +50,25 @@ class Recorder {
   /// to_chrome_json() into `path`; returns false on I/O failure.
   bool write_chrome_json(const std::string& path) const;
 
+  /// Serialize the per-flow latency engine as a canonical
+  /// gpuddt-latency-v1 report (obs/flowstats.h, docs/latency.md). Empty
+  /// but valid when flowstats was never enabled.
+  std::string latency_json() const { return flowstats_.to_json(); }
+
+  /// latency_json() into `path`; returns false on I/O failure.
+  bool write_latency_json(const std::string& path) const;
+
   /// Drop all recorded data (between benchmark repetitions).
   void clear() {
     metrics_.clear();
     trace_.clear();
+    flowstats_.clear();
   }
 
  private:
   Registry metrics_;
   TraceBuffer trace_;
+  FlowStats flowstats_{&metrics_};
 };
 
 /// Process-wide recorder used whenever a run does not provide its own.
@@ -71,7 +84,12 @@ inline void observe(Recorder* rec, std::string_view name,
   if (rec != nullptr) rec->metrics().histogram(name).record(value);
 }
 inline void trace(Recorder* rec, TraceEvent ev) {
-  if (rec != nullptr) rec->trace().record(std::move(ev));
+  if (rec == nullptr) return;
+  // The latency engine taps the span stream *before* the bounded trace
+  // buffer, so per-flow percentiles stay complete even when tracing is
+  // off (record() below no-ops) or the buffer truncates.
+  if (rec->flowstats().enabled()) rec->flowstats().on_span(ev);
+  rec->trace().record(std::move(ev));
 }
 
 }  // namespace gpuddt::obs

@@ -166,12 +166,22 @@ std::int64_t GpuDatatypePlugin::pack(mpi::Process& p, const void* inbuf,
   if (*position + total > static_cast<std::int64_t>(outbuf.size()))
     throw std::invalid_argument("pack: output buffer too small");
   std::byte* out = outbuf.data() + *position;
+  // Standalone packs are flows of their own when the latency engine is
+  // on: one PML request id per call keys the flow (and stamps the engine
+  // spans), so explicit pack/unpack classes are directly comparable to
+  // the "send" class in the latency report (docs/latency.md).
+  obs::Recorder* rec = p.config().recorder;
+  const bool track = rec != nullptr && rec->flowstats().enabled();
+  const std::uint64_t id = track ? p.pml().allocate_id() : 0;
+  const vt::Time begin = p.clock().now();
   if (p.runtime().machine().is_device_ptr(inbuf)) {
     core::GpuDatatypeEngine& eng = engine(p);
     auto op = eng.start(core::GpuDatatypeEngine::Dir::kPack, dt, count,
                         const_cast<void*>(inbuf));
     vt::Time last = p.clock().now();
+    std::int64_t frag = 0;
     while (!op->done()) {
+      if (track) op->set_flow(mpi::frag_flow(p.rank(), id, frag++));
       const auto r =
           eng.process_some(*op, out + op->bytes_done(), total);
       if (r.bytes == 0) break;
@@ -184,6 +194,11 @@ std::int64_t GpuDatatypePlugin::pack(mpi::Process& p, const void* inbuf,
         dt, count, inbuf,
         std::span<std::byte>(out, static_cast<std::size_t>(total)));
     p.pml().charge_cpu_pack(st);
+  }
+  if (track) {
+    rec->flowstats().complete({mpi::frag_flow(p.rank(), id, 0), "pack",
+                               dt->shape_digest(), total, begin,
+                               p.clock().now(), 1});
   }
   *position += total;
   return total;
@@ -198,12 +213,18 @@ std::int64_t GpuDatatypePlugin::unpack(mpi::Process& p,
   if (*position + total > static_cast<std::int64_t>(inbuf.size()))
     throw std::invalid_argument("unpack: input buffer too small");
   const std::byte* in = inbuf.data() + *position;
+  obs::Recorder* rec = p.config().recorder;
+  const bool track = rec != nullptr && rec->flowstats().enabled();
+  const std::uint64_t id = track ? p.pml().allocate_id() : 0;
+  const vt::Time begin = p.clock().now();
   if (p.runtime().machine().is_device_ptr(outbuf)) {
     core::GpuDatatypeEngine& eng = engine(p);
     auto op = eng.start(core::GpuDatatypeEngine::Dir::kUnpack, dt, count,
                         outbuf);
     vt::Time last = p.clock().now();
+    std::int64_t frag = 0;
     while (!op->done()) {
+      if (track) op->set_flow(mpi::frag_flow(p.rank(), id, frag++));
       const auto r = eng.process_some(
           *op, const_cast<std::byte*>(in) + op->bytes_done(), total);
       if (r.bytes == 0) break;
@@ -217,6 +238,11 @@ std::int64_t GpuDatatypePlugin::unpack(mpi::Process& p,
         std::span<const std::byte>(in, static_cast<std::size_t>(total)),
         outbuf);
     p.pml().charge_cpu_pack(st);
+  }
+  if (track) {
+    rec->flowstats().complete({mpi::frag_flow(p.rank(), id, 0), "unpack",
+                               dt->shape_digest(), total, begin,
+                               p.clock().now(), 1});
   }
   *position += total;
   return total;
@@ -832,18 +858,23 @@ void GpuDatatypePlugin::drive_recv_from_contiguous(mpi::Process& p,
   vt::Time last = arrival;
 
   if (req.dt->is_contiguous(req.count)) {
-    // Contiguous on both ends: one big one-sided get into place.
+    // Contiguous on both ends: one big one-sided get into place. The
+    // single GET is the whole flow, so it must carry the frag-flow id -
+    // without this span the latency engine has no time window for the
+    // contiguous-send class and would count the flow dropped.
     auto* dst = static_cast<std::byte*>(req.buf) + req.dt->true_lb();
+    const vt::Time t_start = std::max(arrival, p.clock().now());
     if (same_device) {
       last = sg::TimedCopy(p.gpu(), dst, st->remote,
                            static_cast<std::size_t>(req.total_bytes),
-                           std::max(arrival, p.clock().now()),
-                           "recv_contig_get");
+                           t_start, "recv_contig_get");
     } else {
       last = btl.rdma_get(p, st->src_rank, dst, st->remote,
-                          static_cast<std::size_t>(req.total_bytes),
-                          std::max(arrival, p.clock().now()));
+                          static_cast<std::size_t>(req.total_bytes), t_start);
     }
+    obs::trace(cfg.recorder,
+               {"rdma_frag", "gpu", t_start, last, p.rank(), req.total_bytes,
+                p.rank(), mpi::frag_flow(st->src_rank, st->send_id, 0)});
   } else if (same_device || !cfg.recv_local_staging) {
     // Unpack straight out of the exposed source (fast when same device,
     // the slower remote-read option otherwise).

@@ -26,7 +26,8 @@ std::mutex g_accumulate_mu;
 /// fence sees them.
 void record_rma(mpi::Comm& comm, const char* op, vt::Time begin,
                 vt::Time end, std::int64_t bytes, bool contiguous,
-                bool device_staging) {
+                bool device_staging, std::uint64_t flow = 0,
+                std::uint64_t shape = 0) {
   obs::Recorder* rec = comm.process().config().recorder;
   if (rec == nullptr) return;
   const std::string prefix = std::string("rma.") + op;
@@ -42,7 +43,13 @@ void record_rma(mpi::Comm& comm, const char* op, vt::Time begin,
                bytes);
   }
   obs::trace(rec,
-             {op, "rma", begin, end, comm.rank(), bytes, comm.rank()});
+             {op, "rma", begin, end, comm.rank(), bytes, comm.rank(), flow});
+  // One-sided ops are single-participant flows: the origin drives both
+  // halves, so its op span closes the flow for the latency engine.
+  if (flow != 0 && rec->flowstats().enabled()) {
+    rec->flowstats().complete(
+        {flow, std::string("rma.") + op, shape, bytes, begin, end, 1});
+  }
 }
 }  // namespace
 
@@ -99,19 +106,19 @@ std::byte* Window::target_ptr(int target, std::int64_t disp,
 
 vt::Time Window::pack_to(const void* buf, std::int64_t count,
                          const mpi::DatatypePtr& dt, std::byte* out,
-                         vt::Time dep) {
+                         vt::Time dep, std::uint64_t flow_id) {
   mpi::Process& p = comm_.process();
   const std::int64_t total = dt->size() * count;
   if (p.runtime().machine().is_device_ptr(buf)) {
     auto op = engine_->start(Dir::kPack, dt, count, const_cast<void*>(buf));
-    // Fragment flow ids (docs/tracing.md): one-sided pack chains draw a
-    // request id from the PML's counter so their engine spans join the
-    // same flow grammar as point-to-point fragments.
-    const std::uint64_t id = p.pml().allocate_id();
+    // Fragment flow ids (docs/tracing.md): both halves of one one-sided
+    // op stamp the op-level request id its caller drew from the PML's
+    // counter, so their engine spans join the same flow grammar as
+    // point-to-point fragments - and the same logical flow as each other.
     std::int64_t frag = 0;
     vt::Time last = dep;
     while (!op->done()) {
-      op->set_flow(mpi::frag_flow(p.rank(), id, frag++));
+      op->set_flow(mpi::frag_flow(p.rank(), flow_id, frag++));
       const auto r =
           engine_->process_some(*op, out + op->bytes_done(), total, dep);
       if (r.bytes == 0) break;
@@ -129,16 +136,15 @@ vt::Time Window::pack_to(const void* buf, std::int64_t count,
 
 vt::Time Window::unpack_from(const std::byte* in, void* buf,
                              std::int64_t count, const mpi::DatatypePtr& dt,
-                             vt::Time dep) {
+                             vt::Time dep, std::uint64_t flow_id) {
   mpi::Process& p = comm_.process();
   const std::int64_t total = dt->size() * count;
   if (p.runtime().machine().is_device_ptr(buf)) {
     auto op = engine_->start(Dir::kUnpack, dt, count, buf);
-    const std::uint64_t id = p.pml().allocate_id();
     std::int64_t frag = 0;
     vt::Time last = dep;
     while (!op->done()) {
-      op->set_flow(mpi::frag_flow(p.rank(), id, frag++));
+      op->set_flow(mpi::frag_flow(p.rank(), flow_id, frag++));
       const auto r = engine_->process_some(
           *op, const_cast<std::byte*>(in) + op->bytes_done(), total, dep);
       if (r.bytes == 0) break;
@@ -182,15 +188,17 @@ void Window::put(const void* origin, std::int64_t origin_count,
     host_staging.resize(static_cast<std::size_t>(total));
     staging = host_staging.data();
   }
-  const vt::Time packed =
-      pack_to(origin, origin_count, origin_dt, staging, p.clock().now());
+  const std::uint64_t op_id = p.pml().allocate_id();
+  const vt::Time packed = pack_to(origin, origin_count, origin_dt, staging,
+                                  p.clock().now(), op_id);
   const vt::Time done =
-      unpack_from(staging, tptr, target_count, target_dt, packed);
+      unpack_from(staging, tptr, target_count, target_dt, packed, op_id);
   epoch_horizon_ = std::max(epoch_horizon_, done);
   record_rma(comm_, "put", t_begin, done, total,
              origin_dt->is_contiguous(origin_count) &&
                  target_dt->is_contiguous(target_count),
-             any_device);
+             any_device, mpi::frag_flow(p.rank(), op_id, 0),
+             target_dt->shape_digest());
   if (any_device) sg::Free(p.gpu(), staging);
 }
 
@@ -219,16 +227,18 @@ void Window::get(void* origin, std::int64_t origin_count,
     host_staging.resize(static_cast<std::size_t>(total));
     staging = host_staging.data();
   }
-  const vt::Time fetched =
-      pack_to(tptr, target_count, target_dt, staging, p.clock().now());
+  const std::uint64_t op_id = p.pml().allocate_id();
+  const vt::Time fetched = pack_to(tptr, target_count, target_dt, staging,
+                                   p.clock().now(), op_id);
   const vt::Time done =
-      unpack_from(staging, origin, origin_count, origin_dt, fetched);
+      unpack_from(staging, origin, origin_count, origin_dt, fetched, op_id);
   epoch_horizon_ = std::max(epoch_horizon_, done);
   p.clock().wait_until(done);  // a get is locally complete when it returns
   record_rma(comm_, "get", t_begin, done, total,
              origin_dt->is_contiguous(origin_count) &&
                  target_dt->is_contiguous(target_count),
-             any_device);
+             any_device, mpi::frag_flow(p.rank(), op_id, 0),
+             target_dt->shape_digest());
   if (any_device) sg::Free(p.gpu(), staging);
 }
 
@@ -262,10 +272,11 @@ void Window::accumulate(const void* origin, std::int64_t origin_count,
       p.runtime().machine(), ours.data(), ours.size());
   sg::ScopedStagingRegistration reg_theirs(
       p.runtime().machine(), theirs.data(), theirs.size());
-  const vt::Time t1 =
-      pack_to(origin, origin_count, origin_dt, ours.data(), p.clock().now());
+  const std::uint64_t op_id = p.pml().allocate_id();
+  const vt::Time t1 = pack_to(origin, origin_count, origin_dt, ours.data(),
+                              p.clock().now(), op_id);
   const vt::Time t2 = pack_to(tptr, target_count, target_dt, theirs.data(),
-                              std::max(t1, p.clock().now()));
+                              std::max(t1, p.clock().now()), op_id);
   // Element-wise combine (host ALU; ~4 GB/s like the collectives).
   std::lock_guard<std::mutex> lock(g_accumulate_mu);
   const mpi::Primitive prim = sig.runs[0].prim;
@@ -301,13 +312,15 @@ void Window::accumulate(const void* origin, std::int64_t origin_count,
           "Window::accumulate: int32/double elements only");
   }
   p.clock().advance(vt::transfer_time(total, 4.0));
-  const vt::Time done = unpack_from(theirs.data(), tptr, target_count,
-                                    target_dt, std::max(t2, p.clock().now()));
+  const vt::Time done =
+      unpack_from(theirs.data(), tptr, target_count, target_dt,
+                  std::max(t2, p.clock().now()), op_id);
   epoch_horizon_ = std::max(epoch_horizon_, done);
   record_rma(comm_, "accumulate", t_begin, done, total,
              origin_dt->is_contiguous(origin_count) &&
                  target_dt->is_contiguous(target_count),
-             /*device_staging=*/false);
+             /*device_staging=*/false, mpi::frag_flow(p.rank(), op_id, 0),
+             target_dt->shape_digest());
 }
 
 }  // namespace gpuddt::rma

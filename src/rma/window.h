@@ -65,11 +65,15 @@ class Window {
  private:
   /// Pack `count` elements of `dt` at `buf` into `out` (GPU engine for
   /// device memory, CPU engine otherwise). Returns data-ready time.
+  /// `flow_id` is the op-level PML request id both halves stamp their
+  /// engine spans with (frag_flow; the fragment index restarts per half,
+  /// so one put/get/accumulate reads as one logical flow).
   vt::Time pack_to(const void* buf, std::int64_t count,
-                   const mpi::DatatypePtr& dt, std::byte* out,
-                   vt::Time dep);
+                   const mpi::DatatypePtr& dt, std::byte* out, vt::Time dep,
+                   std::uint64_t flow_id);
   vt::Time unpack_from(const std::byte* in, void* buf, std::int64_t count,
-                       const mpi::DatatypePtr& dt, vt::Time dep);
+                       const mpi::DatatypePtr& dt, vt::Time dep,
+                       std::uint64_t flow_id);
   std::byte* target_ptr(int target, std::int64_t disp,
                         std::int64_t bytes) const;
 

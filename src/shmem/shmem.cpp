@@ -25,7 +25,8 @@ core::EngineConfig pe_engine_cfg(mpi::Process& p) {
 /// memory) vs. staged (datatype ops bounced through a packed device
 /// staging buffer), plus one trace span per call.
 void record_shmem(mpi::Process& p, const char* op, vt::Time begin,
-                  vt::Time end, std::int64_t bytes, bool staged) {
+                  vt::Time end, std::int64_t bytes, bool staged,
+                  std::uint64_t flow = 0, std::uint64_t shape = 0) {
   obs::Recorder* rec = p.config().recorder;
   if (rec == nullptr) return;
   const std::string prefix = std::string("shmem.") + op;
@@ -34,7 +35,13 @@ void record_shmem(mpi::Process& p, const char* op, vt::Time begin,
   if (bytes > 0)
     obs::count(rec, staged ? "shmem.bytes.staged" : "shmem.bytes.direct",
                bytes);
-  obs::trace(rec, {op, "shmem", begin, end, p.rank(), bytes, p.rank()});
+  obs::trace(rec, {op, "shmem", begin, end, p.rank(), bytes, p.rank(), flow});
+  // Datatype ops close their flow here: the initiating PE drives both the
+  // pack and unpack halves, so this is the whole-op completion.
+  if (flow != 0 && rec->flowstats().enabled()) {
+    rec->flowstats().complete(
+        {flow, std::string("shmem.") + op, shape, bytes, begin, end, 1});
+  }
 }
 
 }  // namespace
@@ -179,7 +186,8 @@ void Pe::put_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   }
   engine_.finish(*unpack);
   last_nbi_ = std::max(last_nbi_, ready);
-  record_shmem(proc_, "put_datatype", begin, ready, total, /*staged=*/true);
+  record_shmem(proc_, "put_datatype", begin, ready, total, /*staged=*/true,
+               mpi::frag_flow(proc_.rank(), id, 0), dt->shape_digest());
   sg::Free(proc_.gpu(), staging);
   quiet();
 }
@@ -218,7 +226,8 @@ void Pe::get_datatype(void* dest, const void* src, const mpi::DatatypePtr& dt,
   }
   engine_.finish(*unpack);
   last_nbi_ = std::max(last_nbi_, ready);
-  record_shmem(proc_, "get_datatype", begin, ready, total, /*staged=*/true);
+  record_shmem(proc_, "get_datatype", begin, ready, total, /*staged=*/true,
+               mpi::frag_flow(proc_.rank(), id, 0), dt->shape_digest());
   sg::Free(proc_.gpu(), staging);
   quiet();
 }

@@ -1,0 +1,48 @@
+# Determinism check for the flow-latency pipeline: run the traffic-mix
+# benchmark twice with both report sinks and require each pair of output
+# documents byte-identical - the gpuddt-metrics-v1 dump AND the
+# gpuddt-latency-v1 report. No canonicalization step: FlowStats::to_json
+# serializes through canonical_latency, so the file on disk IS the
+# canonical form and any byte of divergence is a determinism break
+# (docs/determinism.md, docs/latency.md).
+# Invoked by the bench_latency_determinism CTest entry.
+#
+# cmake -DBENCH=<bench_traffic_mix path> -DWORK_DIR=<scratch dir>
+#       -P run_latency_determinism.cmake
+
+if(NOT BENCH OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "run_latency_determinism.cmake: BENCH and WORK_DIR required")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+foreach(run 1 2)
+  execute_process(
+    COMMAND ${BENCH}
+            --metrics-out=${WORK_DIR}/metrics_${run}.json
+            --latency-out=${WORK_DIR}/latency_${run}.json
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "traffic-mix run ${run} failed")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/latency_1.json ${WORK_DIR}/latency_2.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "latency reports differ between identical runs (determinism break)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/metrics_1.json ${WORK_DIR}/metrics_2.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "metrics dumps differ between identical runs (determinism break)")
+endif()

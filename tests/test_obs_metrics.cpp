@@ -52,6 +52,46 @@ TEST(Histogram, TracksMomentsAndQuantiles) {
   EXPECT_GE(s.quantile(0.99), 64.0);
 }
 
+TEST(Histogram, NearestRankHelperMatchesDefinition) {
+  // rank = ceil(q * count), clamped to [1, count]: the exact nearest-rank
+  // definition FlowStats uses for its percentiles (docs/latency.md).
+  EXPECT_EQ(nearest_rank(0.5, 100), 50);
+  EXPECT_EQ(nearest_rank(0.99, 100), 99);
+  EXPECT_EQ(nearest_rank(0.999, 100), 100);
+  EXPECT_EQ(nearest_rank(0.999, 10000), 9990);
+  EXPECT_EQ(nearest_rank(0.0, 10), 1);   // clamped up
+  EXPECT_EQ(nearest_rank(1.0, 10), 10);
+  EXPECT_EQ(nearest_rank(0.5, 1), 1);
+  EXPECT_EQ(nearest_rank(0.5, 0), 0);    // empty distribution
+}
+
+TEST(Histogram, QuantileNearestRankIsExactAndDeterministic) {
+  // Unlike quantile() (approximate, frozen into the historic baselines),
+  // quantile_nearest_rank answers with the log2 bucket bound of the
+  // exact nearest-rank sample, clamped into [min, max] - repeat calls
+  // are bit-identical and a quantile can never leave the observed range.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);   // bucket hi 15
+  for (int i = 0; i < 9; ++i) h.record(100);   // bucket hi 127
+  h.record(5000);                              // bucket hi 8191
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_EQ(s.quantile_nearest_rank(0.5), 15);    // rank 50: a 10
+  EXPECT_EQ(s.quantile_nearest_rank(0.90), 15);   // rank 90: still a 10
+  EXPECT_EQ(s.quantile_nearest_rank(0.99), 127);  // rank 99: a 100
+  EXPECT_EQ(s.quantile_nearest_rank(0.999), 5000);  // rank 100: the max
+  EXPECT_EQ(s.quantile_nearest_rank(1.0), 5000);
+}
+
+TEST(Histogram, QuantileNearestRankSingleValueIsExact) {
+  Histogram h;
+  h.record(42);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.quantile_nearest_rank(0.5), 42);
+  EXPECT_EQ(s.quantile_nearest_rank(0.999), 42);
+  EXPECT_EQ(Histogram().snapshot().quantile_nearest_rank(0.5), 0);
+}
+
 TEST(Histogram, EmptySnapshotIsInert) {
   Histogram h;
   const auto s = h.snapshot();

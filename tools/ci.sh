@@ -5,9 +5,12 @@
 # benchmark binaries (docs/determinism.md), the symbolic verifier over
 # its corpus and over every DEV the bench suite caches
 # (docs/verification.md), the simulator scale stage (1024-rank smoke +
-# throughput baseline gate; docs/simulator.md), and the blocking lint
-# stage (clang-tidy with warnings-as-errors + the determinism lint +
-# the doc lint). Mirrors the CMakePresets.json configurations.
+# throughput baseline gate; docs/simulator.md), the flow-latency stage
+# (traffic-mix baseline gates + gpuddt-latency-v1 shape validation +
+# double-run determinism of both reports; docs/latency.md), and the
+# blocking lint stage (clang-tidy with warnings-as-errors + the
+# determinism lint + the doc lint). Mirrors the CMakePresets.json
+# configurations.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -108,7 +111,33 @@ run build/tools/metrics_diff --gate \
 run build/tools/determinism_check build/bench/bench_sim_throughput \
   -- "--benchmark_filter=BM_SimThroughput_Ring/256"
 
-# 8. Lint: blocking. clang-tidy findings are errors
+# 8. Flow-latency pipeline (docs/latency.md): the seeded traffic-mix
+#    workload gates BOTH of its reports against the checked-in baselines
+#    (bench_baseline_gate_traffic_mix* in ctest already ran; this is the
+#    named CI stage), the gpuddt-latency-v1 report passes shape
+#    validation, and a double run of both sinks is byte-identical -
+#    FlowStats::to_json is canonical, so raw file comparison is the
+#    strictest gate available.
+run build/bench/bench_traffic_mix \
+  --metrics-out=build/ci_traffic_mix_metrics.json \
+  --latency-out=build/ci_traffic_mix_latency.json
+run build/tools/metrics_diff --validate-latency \
+  build/ci_traffic_mix_latency.json
+run build/tools/metrics_diff --gate \
+  --baseline bench/baselines/traffic_mix.json \
+  build/ci_traffic_mix_metrics.json
+run build/tools/metrics_diff --gate \
+  --baseline bench/baselines/traffic_mix_latency.json \
+  build/ci_traffic_mix_latency.json
+run build/bench/bench_traffic_mix \
+  --metrics-out=build/ci_traffic_mix_metrics2.json \
+  --latency-out=build/ci_traffic_mix_latency2.json
+run cmp build/ci_traffic_mix_metrics.json \
+  build/ci_traffic_mix_metrics2.json
+run cmp build/ci_traffic_mix_latency.json \
+  build/ci_traffic_mix_latency2.json
+
+# 9. Lint: blocking. clang-tidy findings are errors
 #    (--warnings-as-errors=*) and a missing clang-tidy fails the stage
 #    instead of degrading; the determinism lint and the documentation
 #    lint (tools/doc_lint.py) run in the same target.

@@ -8,8 +8,8 @@
 //   metrics_diff --validate FILE KEY...
 //       Parse FILE, check the schema marker, and require each KEY to be
 //       present as a counter or histogram. Additionally every metric in
-//       the dump must belong to a known counter family (engine.,
-//       dev_cache., check., pml., gpu., coll., rma., shmem.) - an
+//       the dump must belong to a known counter family (kKnownFamilies
+//       below; docs/metrics.md documents each) - an
 //       unknown prefix means an instrumentation site invented a family
 //       without documenting it in docs/metrics.md. Exits 1 on any
 //       failure (used by the bench_metrics_validate CTest entry).
@@ -22,6 +22,13 @@
 //       steps outside the start..finish window, no dangling flows, and
 //       every binding point inside an "X" slice on the same pid/tid.
 //       Exits 1 on any failure.
+//   metrics_diff --validate-latency FILE
+//       Parse FILE as a gpuddt-latency-v1 report (the --latency-out
+//       output; docs/latency.md) and check its shape: flowstats
+//       counters present, every class carries count/bytes, ordered
+//       exact-rank percentiles, a full per-stage work/wait breakdown,
+//       and a tail block naming a valid dominant stage; per-class
+//       counts must sum to flowstats.flows. Exits 1 on any failure.
 //   metrics_diff --gate A.json B.json KEY<=PCT...
 //       Regression gate: for each KEY (counter or histogram mean), require
 //       the candidate B not to exceed the baseline A by more than PCT
@@ -103,8 +110,8 @@ void check_schema(const Value& doc, const std::string& path) {
 /// instrumentation site with a new prefix requires extending this list
 /// (and the docs) in the same change.
 constexpr const char* kKnownFamilies[] = {
-    "engine.", "dev_cache.", "check.", "pml.",   "gpu.",
-    "coll.",   "rma.",       "shmem.", "verify.", "sim.",
+    "engine.", "dev_cache.", "check.",  "pml.",     "gpu.",     "coll.",
+    "rma.",    "shmem.",     "verify.", "sim.",     "latency.", "flowstats.",
 };
 
 bool known_family(const std::string& name) {
@@ -143,6 +150,147 @@ int validate(const std::string& path, int nkeys, char** keys) {
   }
   std::cout << path << ": ok (" << counters.size() << " counters, "
             << histos.size() << " histograms)\n";
+  return 0;
+}
+
+/// Fail `path` with a one-line reason; returns 1 so callers can
+/// `return fail_latency(...)`.
+int fail_latency(const std::string& path, const std::string& why) {
+  std::cerr << path << ": " << why << "\n";
+  return 1;
+}
+
+/// Require `obj[key]` to be a non-negative number; returns its value via
+/// `*out` (unchanged on failure).
+bool non_negative(const gpuddt::obs::json::Object& obj, const std::string& key,
+                  const std::string& ctx, const std::string& path,
+                  double* out) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    std::cerr << path << ": " << ctx << " missing '" << key << "'\n";
+    return false;
+  }
+  const double v = it->second.as_double();
+  if (v < 0.0) {
+    std::cerr << path << ": " << ctx << " '" << key << "' is negative\n";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Shape check for a gpuddt-latency-v1 report (docs/latency.md - the
+/// --latency-out output): the flowstats counter block must be present and
+/// every class entry must carry count/bytes, ordered exact-rank
+/// percentiles (p50 <= p99 <= p999 <= max), the full per-stage
+/// flows/work/wait breakdown, and a tail block whose dominant stage is
+/// either a stage name or "none". Exits 1 on any failure (wired as the
+/// bench_latency_validate CTest entry).
+int validate_latency(const std::string& path) {
+  const Value doc = load(path);
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != "gpuddt-latency-v1") {
+    return fail_latency(path, "not a gpuddt-latency-v1 report");
+  }
+  if (!doc.contains("flowstats") || !doc.at("flowstats").is_object())
+    return fail_latency(path, "missing flowstats section");
+  const auto& fs = doc.at("flowstats").as_object();
+  double spans = 0.0;
+  double flows = 0.0;
+  double dropped = 0.0;
+  for (const char* key : {"spans", "flows", "dropped", "late_spans",
+                          "capped"}) {
+    double v = 0.0;
+    if (!non_negative(fs, key, "flowstats", path, &v)) return 1;
+    if (std::strcmp(key, "spans") == 0) spans = v;
+    if (std::strcmp(key, "flows") == 0) flows = v;
+    if (std::strcmp(key, "dropped") == 0) dropped = v;
+  }
+  if (!doc.contains("classes") || !doc.at("classes").is_object())
+    return fail_latency(path, "missing classes section");
+  const auto& classes = doc.at("classes").as_object();
+  static constexpr const char* kStageNames[] = {
+      "conv", "desc", "kernel", "wire", "rdma", "unpack", "other"};
+  double class_flows = 0.0;
+  for (const auto& [name, cls] : classes) {
+    const std::string ctx = "class " + name;
+    if (!cls.is_object())
+      return fail_latency(path, ctx + " is not an object");
+    const auto& obj = cls.as_object();
+    double count = 0.0;
+    double ignored = 0.0;
+    if (!non_negative(obj, "count", ctx, path, &count)) return 1;
+    if (!non_negative(obj, "bytes", ctx, path, &ignored)) return 1;
+    if (count <= 0.0)
+      return fail_latency(path, ctx + " has zero count");
+    class_flows += count;
+    if (obj.find("e2e") == obj.end() || !obj.at("e2e").is_object())
+      return fail_latency(path, ctx + " missing e2e block");
+    const auto& e2e = obj.at("e2e").as_object();
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double max = 0.0;
+    if (!non_negative(e2e, "p50", ctx + " e2e", path, &p50) ||
+        !non_negative(e2e, "p99", ctx + " e2e", path, &p99) ||
+        !non_negative(e2e, "p999", ctx + " e2e", path, &p999) ||
+        !non_negative(e2e, "max", ctx + " e2e", path, &max)) {
+      return 1;
+    }
+    // Nearest-rank percentiles over one distribution are monotone in q.
+    if (p50 > p99 || p99 > p999 || p999 > max) {
+      return fail_latency(path, ctx + " percentiles not ordered (want p50 <= "
+                                      "p99 <= p999 <= max)");
+    }
+    if (obj.find("stages") == obj.end() || !obj.at("stages").is_object())
+      return fail_latency(path, ctx + " missing stages block");
+    const auto& stages = obj.at("stages").as_object();
+    for (const auto& [stage, sv] : stages) {
+      bool known = false;
+      for (const char* s : kStageNames) known = known || stage == s;
+      if (!known)
+        return fail_latency(path, ctx + " has unknown stage '" + stage + "'");
+      if (!sv.is_object())
+        return fail_latency(path, ctx + " stage " + stage + " not an object");
+      const auto& st = sv.as_object();
+      const std::string sctx = ctx + " stage " + stage;
+      if (!non_negative(st, "flows", sctx, path, &ignored) ||
+          !non_negative(st, "work", sctx, path, &ignored) ||
+          !non_negative(st, "wait", sctx, path, &ignored)) {
+        return 1;
+      }
+    }
+    if (obj.find("tail") == obj.end() || !obj.at("tail").is_object())
+      return fail_latency(path, ctx + " missing tail block");
+    const auto& tail = obj.at("tail").as_object();
+    if (!non_negative(tail, "count", ctx + " tail", path, &ignored) ||
+        !non_negative(tail, "threshold", ctx + " tail", path, &ignored)) {
+      return 1;
+    }
+    const auto dom = tail.find("dominant");
+    if (dom == tail.end())
+      return fail_latency(path, ctx + " tail missing 'dominant'");
+    const std::string dname = dom->second.as_string();
+    bool dom_ok = dname == "none";
+    for (const char* s : kStageNames) dom_ok = dom_ok || dname == s;
+    if (!dom_ok)
+      return fail_latency(path, ctx + " tail dominant '" + dname +
+                                    "' is not a stage name or \"none\"");
+    if (tail.find("work") == tail.end() || !tail.at("work").is_object())
+      return fail_latency(path, ctx + " tail missing work block");
+  }
+  // Cross-check: the per-class counts must add up to the flow total the
+  // engine reported - a flow may not appear in a class without being
+  // counted, nor be counted without a class (dropped flows are excluded
+  // from both).
+  if (class_flows != flows) {
+    std::ostringstream why;
+    why << "class counts sum to " << class_flows << " but flowstats.flows is "
+        << flows;
+    return fail_latency(path, why.str());
+  }
+  std::cout << path << ": ok (" << classes.size() << " classes, " << flows
+            << " flows, " << spans << " spans, " << dropped << " dropped)\n";
   return 0;
 }
 
@@ -367,19 +515,24 @@ int diff_exact(const char* title, const gpuddt::obs::json::Object& a,
 int gate_baseline(const std::string& pa, const std::string& pb) {
   const Value a = load_gate_operand(pa, "baseline", kExitBaselineMissing);
   const Value b = load_gate_operand(pb, "candidate", kExitCandidateMissing);
-  const std::string ca = gpuddt::obs::canonical_metrics(a);
-  const std::string cb = gpuddt::obs::canonical_metrics(b);
+  // canonical_report dispatches on the schema marker, so the same gate
+  // covers gpuddt-metrics-v1 dumps and gpuddt-latency-v1 reports.
+  const std::string ca = gpuddt::obs::canonical_report(a);
+  const std::string cb = gpuddt::obs::canonical_report(b);
   if (ca == cb) {
     std::printf("ok   %s == %s (canonical, %zu bytes)\n", pa.c_str(),
                 pb.c_str(), ca.size());
     return 0;
   }
   std::printf("baseline mismatch: %s vs %s\n", pa.c_str(), pb.c_str());
-  const int diffs =
-      diff_exact("counter", a.at("counters").as_object(),
-                 b.at("counters").as_object(), /*histogram=*/false) +
-      diff_exact("histogram", a.at("histograms").as_object(),
-                 b.at("histograms").as_object(), /*histogram=*/true);
+  int diffs = 0;
+  if (a.is_object() && a.contains("counters") && b.is_object() &&
+      b.contains("counters")) {
+    diffs = diff_exact("counter", a.at("counters").as_object(),
+                       b.at("counters").as_object(), /*histogram=*/false) +
+            diff_exact("histogram", a.at("histograms").as_object(),
+                       b.at("histograms").as_object(), /*histogram=*/true);
+  }
   std::cerr << (diffs > 0 ? diffs : 1)
             << " difference(s) against checked-in baseline " << pa << "\n"
             << "(intended change? regenerate with "
@@ -388,7 +541,7 @@ int gate_baseline(const std::string& pa, const std::string& pb) {
 }
 
 int canon(const std::string& path) {
-  const std::string text = gpuddt::obs::canonical_metrics(load(path));
+  const std::string text = gpuddt::obs::canonical_report(load(path));
   std::fwrite(text.data(), 1, text.size(), stdout);
   return 0;
 }
@@ -459,6 +612,9 @@ int main(int argc, char** argv) {
     if (argc == 3 && std::strcmp(argv[1], "--validate-chrome") == 0) {
       return validate_chrome(argv[2]);
     }
+    if (argc == 3 && std::strcmp(argv[1], "--validate-latency") == 0) {
+      return validate_latency(argv[2]);
+    }
     if (argc == 5 && std::strcmp(argv[1], "--gate") == 0 &&
         std::strcmp(argv[2], "--baseline") == 0) {
       return gate_baseline(argv[3], argv[4]);
@@ -477,6 +633,7 @@ int main(int argc, char** argv) {
   std::cerr << "usage: metrics_diff A.json B.json\n"
                "       metrics_diff --validate FILE KEY...\n"
                "       metrics_diff --validate-chrome FILE\n"
+               "       metrics_diff --validate-latency FILE\n"
                "       metrics_diff --gate A.json B.json KEY<=PCT...\n"
                "       metrics_diff --gate --baseline BASE.json CAND.json\n"
                "       metrics_diff --canon FILE\n";

@@ -30,6 +30,7 @@ BASELINES=(
   "ddt_zoo|bench_ddt_zoo||"
   "fig9_stream_triggered|bench_fig9_pcie_pingpong||--stream-triggered"
   "sim_throughput|bench_sim_throughput||"
+  "traffic_mix|bench_traffic_mix||"
 )
 
 binaries=(metrics_diff)
@@ -47,9 +48,23 @@ for spec in "${BASELINES[@]}"; do
   args=(--metrics-out="$tmp")
   [ -n "$filter" ] && args+=("--benchmark_filter=$filter")
   [ -n "$extra" ] && args+=($extra)
+  # The traffic-mix workload also pins the flow-latency report
+  # (docs/latency.md): one run produces both baselines.
+  latency_tmp=
+  if [ "$name" = traffic_mix ]; then
+    latency_tmp=$(mktemp)
+    args+=(--latency-out="$latency_tmp")
+  fi
   echo "== $name: $bin ${filter:+(filter $filter)}${extra:+ ($extra)}"
   "$BUILD/bench/$bin" "${args[@]}" > /dev/null
   "$BUILD/tools/metrics_diff" --canon "$tmp" > "$OUT/$name.json"
+  if [ -n "$latency_tmp" ]; then
+    # --canon dispatches on the schema marker, so the same idempotent
+    # canonicalization covers the gpuddt-latency-v1 report.
+    "$BUILD/tools/metrics_diff" --canon "$latency_tmp" \
+      > "$OUT/${name}_latency.json"
+    rm -f "$latency_tmp"
+  fi
 done
 
 echo "== baselines regenerated into $OUT - review with git diff"
